@@ -1,0 +1,100 @@
+// Command circuitgen generates, inspects and converts circuits in the
+// netlist text format, and prints Table-1-style profiles.
+//
+// Usage:
+//
+//	circuitgen -circuit koggestone-64 -out ks64.net
+//	circuitgen -circuit mult-12 -profile -waves 2
+//	circuitgen -in ks64.net -profile
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hjdes/internal/circuit"
+	"hjdes/internal/core"
+	"hjdes/internal/cspec"
+)
+
+var (
+	circuitFlag = flag.String("circuit", "", "circuit spec to generate: "+strings.Join(cspec.Known(), " | "))
+	inFlag      = flag.String("in", "", "netlist file to load instead of generating")
+	outFlag     = flag.String("out", "", "write the netlist to this file ('-' for stdout)")
+	formatFlag  = flag.String("format", "netlist", "output format: netlist (hjdes text) | bench (ISCAS .bench)")
+	profileFlag = flag.Bool("profile", false, "print the circuit profile (Table 1 columns)")
+	wavesFlag   = flag.Int("waves", 0, "with -profile: also count initial and total events for this many random waves")
+	seedFlag    = flag.Int64("seed", 1, "stimulus seed for -waves")
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "circuitgen: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	flag.Parse()
+	var c *circuit.Circuit
+	switch {
+	case *inFlag != "":
+		f, err := os.Open(*inFlag)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		parsed, err := circuit.ParseNetlist(f)
+		f.Close()
+		if err != nil {
+			fatalf("parse %s: %v", *inFlag, err)
+		}
+		c = parsed
+	case *circuitFlag != "":
+		built, err := cspec.Build(*circuitFlag)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		c = built
+	default:
+		fatalf("one of -circuit or -in is required")
+	}
+
+	if *outFlag != "" {
+		w := os.Stdout
+		if *outFlag != "-" {
+			f, err := os.Create(*outFlag)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		var err error
+		switch *formatFlag {
+		case "netlist":
+			err = circuit.Serialize(w, c)
+		case "bench":
+			err = circuit.WriteBench(w, c)
+		default:
+			err = fmt.Errorf("unknown format %q", *formatFlag)
+		}
+		if err != nil {
+			fatalf("serialize: %v", err)
+		}
+	}
+
+	if *profileFlag || *outFlag == "" {
+		p := c.Profile()
+		fmt.Printf("circuit:  %s\nnodes:    %d\nedges:    %d\ninputs:   %d\noutputs:  %d\ndepth:    %d\n",
+			p.Name, p.Nodes, p.Edges, p.Inputs, p.Outputs, p.Depth)
+		if *wavesFlag > 0 {
+			stim := circuit.RandomStimulus(c, *wavesFlag, c.SettleTime()+10, *seedFlag)
+			res, err := core.NewSequential(core.Options{DiscardOutputs: true}).Run(c, stim)
+			if err != nil {
+				fatalf("event count run: %v", err)
+			}
+			fmt.Printf("initial events (%d waves): %d\ntotal events: %d\n",
+				*wavesFlag, stim.NumEvents(), res.TotalEvents)
+		}
+	}
+}

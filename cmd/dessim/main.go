@@ -1,0 +1,167 @@
+// Command dessim runs one logic-circuit DES simulation and reports the
+// result: engine, worker count, events processed, wall time, throughput
+// and scheduler statistics.
+//
+// Usage:
+//
+//	dessim -circuit koggestone-64 -engine hj -workers 8 -waves 100
+//	dessim -circuit file:adder.net -engine seq -verify
+//	dessim -circuit random:8,200,6,42 -engine galois -workers 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"hjdes/internal/circuit"
+	"hjdes/internal/core"
+	"hjdes/internal/cspec"
+	"hjdes/internal/trace"
+)
+
+var (
+	circuitFlag = flag.String("circuit", "koggestone-64", "circuit spec: "+strings.Join(cspec.Known(), " | "))
+	engineFlag  = flag.String("engine", "hj", "engine: seq | seq-pq | hj | galois | galois-fine | galois-ordered | actor | timewarp")
+	twWindow    = flag.Int64("tw-window", 0, "timewarp: speculation window (0 = unbounded)")
+	workersFlag = flag.Int("workers", 0, "worker count for parallel engines (0 = GOMAXPROCS)")
+	wavesFlag   = flag.Int("waves", 10, "number of random input waves")
+	seedFlag    = flag.Int64("seed", 1, "stimulus seed")
+	verifyFlag  = flag.Bool("verify", false, "check outputs against the combinational oracle")
+	statsFlag   = flag.Bool("stats", false, "print runtime scheduler statistics")
+	vcdFlag     = flag.String("vcd", "", "write output waveforms to this VCD file (implies recording outputs)")
+	hotFlag     = flag.Int("hotspots", 0, "print the N busiest nodes by processed events")
+	// Ablation toggles (HJ engine).
+	pqFlag       = flag.Bool("pernode-pq", false, "hj: per-node priority queue instead of per-port deques")
+	nodeLockFlag = flag.Bool("pernode-locks", false, "hj: per-node locks instead of per-port locks")
+	noTempFlag   = flag.Bool("no-temp-queue", false, "hj: disable the temporary ready-event queue")
+	naiveFlag    = flag.Bool("naive-respawn", false, "hj: disable avoidance of unnecessary asyncs")
+	isoFlag      = flag.Bool("global-isolated", false, "hj: use the global isolated construct instead of TryLock")
+	mutexFlag    = flag.Bool("mutex-locks", false, "hj: back locks with sync.Mutex instead of atomic booleans")
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dessim: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func buildEngine(name string, opts core.Options) (core.Engine, error) {
+	switch name {
+	case "seq":
+		return core.NewSequential(opts), nil
+	case "seq-pq":
+		return core.NewSequentialPQ(opts), nil
+	case "hj":
+		return core.NewHJ(opts), nil
+	case "galois":
+		return core.NewGalois(opts), nil
+	case "galois-fine":
+		return core.NewGaloisFine(opts), nil
+	case "galois-ordered":
+		return core.NewOrdered(opts), nil
+	case "actor":
+		return core.NewActor(opts), nil
+	case "timewarp":
+		return core.NewTimeWarp(opts), nil
+	}
+	return nil, fmt.Errorf("unknown engine %q", name)
+}
+
+func main() {
+	flag.Parse()
+	c, err := cspec.Build(*circuitFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	opts := core.Options{
+		Workers:        *workersFlag,
+		PerNodePQ:      *pqFlag,
+		PerNodeLocks:   *nodeLockFlag,
+		NoTempQueue:    *noTempFlag,
+		NaiveRespawn:   *naiveFlag,
+		GlobalIsolated: *isoFlag,
+		MutexLocks:     *mutexFlag,
+		TimeWarpWindow: *twWindow,
+		DiscardOutputs: !*verifyFlag && *vcdFlag == "",
+	}
+	eng, err := buildEngine(*engineFlag, opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("circuit: %v\n", c)
+	period := c.SettleTime() + 10
+	if *verifyFlag {
+		rng := rand.New(rand.NewSource(*seedFlag))
+		waves := make([]map[string]circuit.Value, *wavesFlag)
+		for w := range waves {
+			m := make(map[string]circuit.Value)
+			for _, name := range c.InputNames() {
+				m[name] = circuit.Value(rng.Intn(2))
+			}
+			waves[w] = m
+		}
+		res, err := core.RunAndVerify(eng, c, waves, period)
+		if err != nil {
+			fatalf("verification failed: %v", err)
+		}
+		fmt.Printf("%v\nverify: OK (%d waves checked against the oracle)\n", res, len(waves))
+		printStats(res)
+		printHotspots(c, res)
+		writeVCD(res)
+		return
+	}
+	stim := circuit.RandomStimulus(c, *wavesFlag, period, *seedFlag)
+	res, err := eng.Run(c, stim)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("initial events: %d\n%v\n", stim.NumEvents(), res)
+	printStats(res)
+	printHotspots(c, res)
+	writeVCD(res)
+}
+
+// printHotspots lists the busiest nodes when -hotspots is set.
+func printHotspots(c *circuit.Circuit, res *core.Result) {
+	if *hotFlag <= 0 {
+		return
+	}
+	fmt.Printf("top %d nodes by processed events:\n", *hotFlag)
+	for _, h := range core.TopHotspots(c, res, *hotFlag) {
+		fmt.Printf("  %v\n", h)
+	}
+}
+
+// writeVCD dumps the run's output waveforms when -vcd is set.
+func writeVCD(res *core.Result) {
+	if *vcdFlag == "" {
+		return
+	}
+	f, err := os.Create(*vcdFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	if err := trace.WriteResultVCD(f, res); err != nil {
+		fatalf("write vcd: %v", err)
+	}
+	fmt.Printf("waveforms: %s\n", *vcdFlag)
+}
+
+func printStats(res *core.Result) {
+	if !*statsFlag {
+		return
+	}
+	if res.HJ.Spawns > 0 {
+		fmt.Printf("hj runtime: %v\n", res.HJ)
+	}
+	if res.Galois.Committed > 0 {
+		fmt.Printf("galois runtime: %v\n", res.Galois)
+	}
+	if res.TimeWarp.Rounds > 0 {
+		fmt.Printf("timewarp: %v\n", res.TimeWarp)
+	}
+}

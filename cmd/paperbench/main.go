@@ -1,0 +1,133 @@
+// Command paperbench regenerates the paper's evaluation: Tables 1-2 and
+// Figures 1, 4, 5, 6, 7, plus the Section 4.5 ablation study.
+//
+// Usage:
+//
+//	paperbench -exp all
+//	paperbench -exp fig5 -scale 0.5 -repeats 10 -maxworkers 16
+//	paperbench -exp table1 -csv
+//
+// At -scale 1 -repeats 20 -maxworkers 32 it follows the paper's exact
+// protocol (56M-103M events per run, 20 repetitions, workers 1..32).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hjdes/internal/core"
+	"hjdes/internal/harness"
+)
+
+var (
+	expFlag     = flag.String("exp", "all", "experiment: table1 | table2 | fig1 | fig4 | fig5 | fig6 | fig7 | ablations | profiles | ordered | timewarp | netdes | all")
+	scaleFlag   = flag.Float64("scale", 0.1, "fraction of the paper's event volume per run (1 = paper scale)")
+	repeatsFlag = flag.Int("repeats", 3, "repetitions per configuration (paper: 20)")
+	workersFlag = flag.Int("maxworkers", 8, "maximum worker count in sweeps (paper: 32)")
+	seedFlag    = flag.Int64("seed", 1, "stimulus seed")
+	csvFlag     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "paperbench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func emit(t *harness.Table) {
+	var err error
+	if *csvFlag {
+		err = t.WriteCSV(os.Stdout)
+	} else {
+		err = t.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Println()
+}
+
+func main() {
+	flag.Parse()
+	cfg := harness.Config{
+		Scale:      *scaleFlag,
+		Repeats:    *repeatsFlag,
+		MaxWorkers: *workersFlag,
+		Seed:       *seedFlag,
+	}
+	switch *expFlag {
+	case "table1":
+		t, err := harness.Table1(cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		emit(t)
+	case "table2":
+		t, _, err := harness.Table2(cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		emit(t)
+	case "fig1":
+		t, profile, err := harness.Fig1(cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if *csvFlag {
+			emit(t)
+			return
+		}
+		fmt.Printf("Figure 1: available parallelism (6-bit tree multiplier)\n")
+		fmt.Printf("steps=%d peak=%d mean=%.1f\n%s\n",
+			len(profile), core.MaxParallelism(profile), core.MeanParallelism(profile), harness.Sparkline(profile))
+	case "fig4", "fig5", "fig6":
+		fig := int((*expFlag)[3] - '0')
+		t, err := harness.FigSweep(cfg, fig)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		emit(t)
+	case "fig7":
+		t, err := harness.Fig7(cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		emit(t)
+	case "ablations":
+		t, err := harness.Ablations(cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		emit(t)
+	case "netdes":
+		t, err := harness.NetDES(cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		emit(t)
+	case "timewarp":
+		t, err := harness.TimeWarpExp(cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		emit(t)
+	case "profiles":
+		t, err := harness.Profiles(cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		emit(t)
+	case "ordered":
+		t, err := harness.OrderedExp(cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		emit(t)
+	case "all":
+		if err := harness.All(cfg, os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+	default:
+		fatalf("unknown experiment %q", *expFlag)
+	}
+}

@@ -1,0 +1,13 @@
+// Package hjdes is a from-scratch Go reproduction of "Parallelizing a
+// Discrete Event Simulation Application Using the Habanero-Java Multicore
+// Library" (Xiao, Zhao, Sarkar; PMAM '15).
+//
+// The library lives under internal/: a Habanero-style work-stealing task
+// runtime (internal/hj), a Galois-style optimistic parallelization
+// runtime (internal/galois), the logic-circuit substrate and generators
+// (internal/circuit), the Chandy–Misra DES engines (internal/core), and
+// the evaluation harness (internal/harness, internal/stats). The
+// benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation; cmd/paperbench does the same from the command
+// line. See README.md, DESIGN.md and EXPERIMENTS.md.
+package hjdes

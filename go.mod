@@ -1,0 +1,3 @@
+module hjdes
+
+go 1.22

@@ -1,0 +1,88 @@
+package circuit
+
+import "fmt"
+
+// ArrayMultiplier builds a bits×bits unsigned array multiplier: the
+// classic grid of full adders, where each row adds one shifted partial
+// product to a running sum and carries ripple through the array. It
+// computes the same function as TreeMultiplier but with a long critical
+// path and little fanout — the low-parallelism counterpart for
+// profile-comparison studies. Terminal names match TreeMultiplier
+// (a0.., b0.., p0..p{2n-1}), so TreeMultiplierAssign and
+// TreeMultiplierProduct apply.
+func ArrayMultiplier(bits int) *Circuit {
+	if bits < 1 {
+		panic("circuit: ArrayMultiplier bits must be >= 1")
+	}
+	b := NewBuilder(fmt.Sprintf("arraymult-%d", bits))
+	a := make([]NodeID, bits)
+	bb := make([]NodeID, bits)
+	for i := 0; i < bits; i++ {
+		a[i] = b.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < bits; i++ {
+		bb[i] = b.Input(fmt.Sprintf("b%d", i))
+	}
+
+	pp := func(i, j int) NodeID { return b.And(a[i], bb[j]) }
+	fullAdder := func(x, y, z NodeID) (sum, carry NodeID) {
+		xy := b.Xor(x, y)
+		sum = b.Xor(xy, z)
+		carry = b.Or(b.And(x, y), b.And(xy, z))
+		return
+	}
+	halfAdder := func(x, y NodeID) (sum, carry NodeID) {
+		return b.Xor(x, y), b.And(x, y)
+	}
+	// add3 sums up to three optional bits (NoNode = absent).
+	add3 := func(x, y, z NodeID) (sum, carry NodeID) {
+		switch {
+		case y == NoNode && z == NoNode:
+			return x, NoNode
+		case y == NoNode:
+			return halfAdder(x, z)
+		case z == NoNode:
+			return halfAdder(x, y)
+		default:
+			return fullAdder(x, y, z)
+		}
+	}
+
+	// After row r, running[k] holds bit (r+k) of the accumulated sum and
+	// prevTop holds the carry out of the row (bit r+bits).
+	running := make([]NodeID, bits)
+	for k := 0; k < bits; k++ {
+		running[k] = pp(k, 0)
+	}
+	b.Output("p0", running[0])
+	prevTop := NoNode
+
+	for row := 1; row < bits; row++ {
+		next := make([]NodeID, bits)
+		carry := NoNode
+		for k := 0; k < bits; k++ {
+			// Bit (row+k) sums pp(k,row), the previous row's bit at the
+			// same weight (running[k+1], or its top carry at the highest
+			// position), and the ripple carry.
+			sumIn := prevTop
+			if k+1 < bits {
+				sumIn = running[k+1]
+			}
+			next[k], carry = add3(pp(k, row), sumIn, carry)
+		}
+		prevTop = carry
+		running = next
+		b.Output(fmt.Sprintf("p%d", row), running[0])
+	}
+
+	// Flush the final row's remaining bits and top carry.
+	for k := 1; k < bits; k++ {
+		b.Output(fmt.Sprintf("p%d", bits-1+k), running[k])
+	}
+	top := prevTop
+	if top == NoNode {
+		top = b.And(a[0], b.Not(a[0])) // constant 0 (bits == 1)
+	}
+	b.Output(fmt.Sprintf("p%d", 2*bits-1), top)
+	return b.MustBuild()
+}

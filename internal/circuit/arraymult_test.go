@@ -1,0 +1,66 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestArrayMultiplierExhaustiveSmall(t *testing.T) {
+	for bits := 1; bits <= 4; bits++ {
+		c := ArrayMultiplier(bits)
+		limit := uint64(1) << uint(bits)
+		for a := uint64(0); a < limit; a++ {
+			for b := uint64(0); b < limit; b++ {
+				out := Evaluate(c, TreeMultiplierAssign(bits, a, b))
+				if got := TreeMultiplierProduct(bits, out); got != a*b {
+					t.Fatalf("bits %d: %d*%d = %d, want %d", bits, a, b, got, a*b)
+				}
+			}
+		}
+	}
+}
+
+func TestArrayMultiplierRandom12(t *testing.T) {
+	c := ArrayMultiplier(12)
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 300; i++ {
+		a := rng.Uint64() & 0xFFF
+		b := rng.Uint64() & 0xFFF
+		out := Evaluate(c, TreeMultiplierAssign(12, a, b))
+		if got := TreeMultiplierProduct(12, out); got != a*b {
+			t.Fatalf("%d*%d = %d, want %d", a, b, got, a*b)
+		}
+	}
+}
+
+func TestArrayMultiplierProperty8(t *testing.T) {
+	c := ArrayMultiplier(8)
+	f := func(a, b uint8) bool {
+		out := Evaluate(c, TreeMultiplierAssign(8, uint64(a), uint64(b)))
+		return TreeMultiplierProduct(8, out) == uint64(a)*uint64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArrayVsTreeStructure(t *testing.T) {
+	arr := ArrayMultiplier(12)
+	tree := TreeMultiplier(12)
+	// The array has a much longer critical path (ripple through every
+	// row) than the Wallace tree.
+	if arr.Depth() <= tree.Depth() {
+		t.Errorf("array depth %d <= tree depth %d", arr.Depth(), tree.Depth())
+	}
+	// Same function: cross-check a few operands.
+	rng := rand.New(rand.NewSource(62))
+	for i := 0; i < 50; i++ {
+		a := rng.Uint64() & 0xFFF
+		b := rng.Uint64() & 0xFFF
+		assign := TreeMultiplierAssign(12, a, b)
+		if TreeMultiplierProduct(12, Evaluate(arr, assign)) != TreeMultiplierProduct(12, Evaluate(tree, assign)) {
+			t.Fatalf("array and tree disagree on %d*%d", a, b)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ISCAS .bench format
+//
+// ParseBench reads the netlist format of the ISCAS-85/89 benchmark
+// suites (the format the original c17..c7552 circuits are distributed
+// in):
+//
+//	# comment
+//	INPUT(n1)
+//	OUTPUT(n22)
+//	n10 = NAND(n1, n3)
+//	n11 = NOT(n9)
+//
+// Supported functions: AND, NAND, OR, NOR, XOR, XNOR, NOT, BUF/BUFF.
+// Gates with more than two inputs are decomposed into chains of 2-input
+// gates (inverting gates invert only the final stage, preserving the
+// n-ary semantics). Sequential elements (DFF) are rejected: the
+// simulator is combinational, per the paper's acyclic-circuit model.
+
+// benchDef is one parsed signal definition.
+type benchDef struct {
+	fn   string
+	args []string
+	line int
+}
+
+// ParseBench parses an ISCAS .bench netlist.
+func ParseBench(r io.Reader, name string) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	defs := map[string]benchDef{}
+	var inputs, outputs []string
+	seenIn := map[string]bool{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		upper := strings.ToUpper(line)
+		switch {
+		case strings.HasPrefix(upper, "INPUT(") || strings.HasPrefix(upper, "OUTPUT("):
+			open := strings.Index(line, "(")
+			close := strings.LastIndex(line, ")")
+			if close < open {
+				return nil, fmt.Errorf("bench line %d: malformed declaration %q", lineNo, line)
+			}
+			sig := strings.TrimSpace(line[open+1 : close])
+			if sig == "" {
+				return nil, fmt.Errorf("bench line %d: empty signal name", lineNo)
+			}
+			if strings.HasPrefix(upper, "INPUT(") {
+				if seenIn[sig] {
+					return nil, fmt.Errorf("bench line %d: duplicate INPUT(%s)", lineNo, sig)
+				}
+				seenIn[sig] = true
+				inputs = append(inputs, sig)
+			} else {
+				outputs = append(outputs, sig)
+			}
+		case strings.Contains(line, "="):
+			eq := strings.Index(line, "=")
+			sig := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.Index(rhs, "(")
+			close := strings.LastIndex(rhs, ")")
+			if open < 0 || close < open {
+				return nil, fmt.Errorf("bench line %d: malformed definition %q", lineNo, line)
+			}
+			fn := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+			var args []string
+			for _, a := range strings.Split(rhs[open+1:close], ",") {
+				a = strings.TrimSpace(a)
+				if a == "" {
+					return nil, fmt.Errorf("bench line %d: empty argument", lineNo)
+				}
+				args = append(args, a)
+			}
+			if _, dup := defs[sig]; dup {
+				return nil, fmt.Errorf("bench line %d: signal %q defined twice", lineNo, sig)
+			}
+			if seenIn[sig] {
+				return nil, fmt.Errorf("bench line %d: signal %q is an INPUT and also defined", lineNo, sig)
+			}
+			defs[sig] = benchDef{fn: fn, args: args, line: lineNo}
+		default:
+			return nil, fmt.Errorf("bench line %d: unrecognized line %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("bench: no INPUT declarations")
+	}
+	if len(outputs) == 0 {
+		return nil, fmt.Errorf("bench: no OUTPUT declarations")
+	}
+
+	// Topologically order the definitions (the format allows any order).
+	order, err := benchToposort(defs, seenIn)
+	if err != nil {
+		return nil, err
+	}
+
+	b := NewBuilder(name)
+	sigNode := map[string]NodeID{}
+	for _, in := range inputs {
+		sigNode[in] = b.Input(in)
+	}
+	for _, sig := range order {
+		def := defs[sig]
+		srcs := make([]NodeID, len(def.args))
+		for i, a := range def.args {
+			id, ok := sigNode[a]
+			if !ok {
+				return nil, fmt.Errorf("bench line %d: %q uses undefined signal %q", def.line, sig, a)
+			}
+			srcs[i] = id
+		}
+		id, err := buildBenchGate(b, def, srcs)
+		if err != nil {
+			return nil, err
+		}
+		sigNode[sig] = id
+	}
+	for _, out := range outputs {
+		id, ok := sigNode[out]
+		if !ok {
+			return nil, fmt.Errorf("bench: OUTPUT(%s) never defined", out)
+		}
+		b.Output("out_"+out, id)
+	}
+	return b.Build()
+}
+
+// buildBenchGate lowers one n-ary .bench function to 2-input gates.
+func buildBenchGate(b *Builder, def benchDef, srcs []NodeID) (NodeID, error) {
+	type lowering struct {
+		chain Kind // associative reduction for the leading args
+		last  Kind // applied at the final stage (captures inversion)
+	}
+	table := map[string]lowering{
+		"AND": {And, And}, "NAND": {And, Nand},
+		"OR": {Or, Or}, "NOR": {Or, Nor},
+		"XOR": {Xor, Xor}, "XNOR": {Xor, Xnor},
+	}
+	switch def.fn {
+	case "NOT":
+		if len(srcs) != 1 {
+			return 0, fmt.Errorf("bench line %d: NOT takes 1 argument, got %d", def.line, len(srcs))
+		}
+		return b.Not(srcs[0]), nil
+	case "BUF", "BUFF":
+		if len(srcs) != 1 {
+			return 0, fmt.Errorf("bench line %d: %s takes 1 argument, got %d", def.line, def.fn, len(srcs))
+		}
+		return b.Buf(srcs[0]), nil
+	case "DFF", "DFFSR", "LATCH":
+		return 0, fmt.Errorf("bench line %d: sequential element %s not supported (combinational simulator)", def.line, def.fn)
+	}
+	lw, ok := table[def.fn]
+	if !ok {
+		return 0, fmt.Errorf("bench line %d: unknown function %q", def.line, def.fn)
+	}
+	switch len(srcs) {
+	case 0:
+		return 0, fmt.Errorf("bench line %d: %s needs arguments", def.line, def.fn)
+	case 1:
+		// Degenerate single-input gate: identity (or inversion for the
+		// inverting forms).
+		switch lw.last {
+		case Nand, Nor, Xnor:
+			return b.Not(srcs[0]), nil
+		default:
+			return b.Buf(srcs[0]), nil
+		}
+	case 2:
+		return b.Gate2(lw.last, srcs[0], srcs[1]), nil
+	default:
+		acc := srcs[0]
+		for i := 1; i < len(srcs)-1; i++ {
+			acc = b.Gate2(lw.chain, acc, srcs[i])
+		}
+		return b.Gate2(lw.last, acc, srcs[len(srcs)-1]), nil
+	}
+}
+
+// benchToposort orders signal definitions so every argument is defined
+// first; it rejects cycles (sequential logic encoded combinationally).
+func benchToposort(defs map[string]benchDef, inputs map[string]bool) ([]string, error) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var order []string
+	var visit func(sig string) error
+	visit = func(sig string) error {
+		switch color[sig] {
+		case gray:
+			return fmt.Errorf("bench: combinational cycle through signal %q", sig)
+		case black:
+			return nil
+		}
+		def, ok := defs[sig]
+		if !ok {
+			// Inputs and undefined signals are resolved later.
+			return nil
+		}
+		color[sig] = gray
+		for _, a := range def.args {
+			if !inputs[a] {
+				if err := visit(a); err != nil {
+					return err
+				}
+			}
+		}
+		color[sig] = black
+		order = append(order, sig)
+		return nil
+	}
+	sigs := make([]string, 0, len(defs))
+	for sig := range defs {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs) // deterministic construction order
+	for _, sig := range sigs {
+		if err := visit(sig); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// WriteBench serializes a circuit in .bench form. Terminal names are
+// preserved; internal gates get generated gNNN names. Circuits written
+// this way round-trip through ParseBench with identical logic function.
+func WriteBench(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s (hjdes export)\n", c.Name)
+	sig := make([]string, len(c.Nodes))
+	for _, id := range c.Inputs {
+		sig[id] = c.Nodes[id].Name
+		fmt.Fprintf(bw, "INPUT(%s)\n", sig[id])
+	}
+	for _, id := range c.Outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Nodes[id].Name)
+	}
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		switch n.Kind {
+		case Input:
+			continue
+		case Output:
+			// An output terminal re-names its driver: emit a BUF.
+			sig[n.ID] = n.Name
+			fmt.Fprintf(bw, "%s = BUF(%s)\n", n.Name, sig[n.Fanin[0]])
+		default:
+			sig[n.ID] = fmt.Sprintf("g%d", n.ID)
+			if n.NumIn() == 1 {
+				fmt.Fprintf(bw, "%s = %s(%s)\n", sig[n.ID], n.Kind, sig[n.Fanin[0]])
+			} else {
+				fmt.Fprintf(bw, "%s = %s(%s, %s)\n", sig[n.ID], n.Kind, sig[n.Fanin[0]], sig[n.Fanin[1]])
+			}
+		}
+	}
+	return bw.Flush()
+}

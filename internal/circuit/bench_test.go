@@ -1,0 +1,168 @@
+package circuit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// c17Bench is the canonical ISCAS-85 c17 netlist.
+const c17Bench = `# c17 iscas example
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+
+OUTPUT(22)
+OUTPUT(23)
+
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+`
+
+func TestParseBenchC17(t *testing.T) {
+	c, err := ParseBench(strings.NewReader(c17Bench), "c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Inputs) != 5 || len(c.Outputs) != 2 {
+		t.Fatalf("terminals: %d in, %d out", len(c.Inputs), len(c.Outputs))
+	}
+	// Cross-check the full truth table against the builder version.
+	ref := C17()
+	refIn := []string{"n1", "n2", "n3", "n6", "n7"}
+	benchIn := []string{"1", "2", "3", "6", "7"}
+	for bits := 0; bits < 32; bits++ {
+		refAssign := map[string]Value{}
+		benchAssign := map[string]Value{}
+		for i := 0; i < 5; i++ {
+			v := Value((bits >> i) & 1)
+			refAssign[refIn[i]] = v
+			benchAssign[benchIn[i]] = v
+		}
+		want := Evaluate(ref, refAssign)
+		got := Evaluate(c, benchAssign)
+		if got["out_22"] != want["n22"] || got["out_23"] != want["n23"] {
+			t.Fatalf("bits %05b: bench (%d,%d) vs ref (%d,%d)", bits,
+				got["out_22"], got["out_23"], want["n22"], want["n23"])
+		}
+	}
+}
+
+func TestParseBenchMultiInputDecomposition(t *testing.T) {
+	src := `INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+OUTPUT(y)
+OUTPUT(z)
+OUTPUT(w)
+y = NAND(a, b, c, d)
+z = NOR(a, b, c)
+w = XNOR(a, b, c, d)
+`
+	cir, err := ParseBench(strings.NewReader(src), "multi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bits := 0; bits < 16; bits++ {
+		a, b, c, d := Value(bits&1), Value((bits>>1)&1), Value((bits>>2)&1), Value((bits>>3)&1)
+		out := Evaluate(cir, map[string]Value{"a": a, "b": b, "c": c, "d": d})
+		if want := (a & b & c & d) ^ 1; out["out_y"] != want {
+			t.Fatalf("NAND4(%04b) = %d, want %d", bits, out["out_y"], want)
+		}
+		if want := (a | b | c) ^ 1; out["out_z"] != want {
+			t.Fatalf("NOR3(%04b) = %d, want %d", bits, out["out_z"], want)
+		}
+		if want := (a ^ b ^ c ^ d) ^ 1; out["out_w"] != want {
+			t.Fatalf("XNOR4(%04b) = %d, want %d", bits, out["out_w"], want)
+		}
+	}
+}
+
+func TestParseBenchOutOfOrderDefinitions(t *testing.T) {
+	src := `INPUT(a)
+OUTPUT(y)
+y = NOT(m)
+m = AND(a, a)
+`
+	c, err := ParseBench(strings.NewReader(src), "ooo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Evaluate(c, map[string]Value{"a": 1})
+	if out["out_y"] != 0 {
+		t.Fatalf("y = %d, want 0", out["out_y"])
+	}
+}
+
+func TestParseBenchErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"dff", "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n", "sequential"},
+		{"unknown fn", "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n", "unknown function"},
+		{"cycle", "INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = BUF(y)\n", "cycle"},
+		{"undefined", "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n", "undefined signal"},
+		{"dup def", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n", "defined twice"},
+		{"dup input", "INPUT(a)\nINPUT(a)\nOUTPUT(a)\n", "duplicate INPUT"},
+		{"input redefined", "INPUT(a)\nOUTPUT(y)\na = NOT(a)\n", "also defined"},
+		{"no inputs", "OUTPUT(y)\ny = NOT(y)\n", "no INPUT"},
+		{"no outputs", "INPUT(a)\n", "no OUTPUT"},
+		{"missing output def", "INPUT(a)\nOUTPUT(y)\n", "never defined"},
+		{"garbage", "INPUT(a)\nOUTPUT(a)\nwhatever\n", "unrecognized"},
+		{"bad arity", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOT(a, b)\n", "takes 1 argument"},
+		{"malformed", "INPUT(a)\nOUTPUT(y)\ny = AND a\n", "malformed"},
+	}
+	for _, tc := range cases {
+		_, err := ParseBench(strings.NewReader(tc.src), tc.name)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want contains %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestWriteBenchRoundTripFunction(t *testing.T) {
+	orig := KoggeStone(8)
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseBench(bytes.NewReader(buf.Bytes()), "ks8-rt")
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	for a := uint64(0); a < 256; a += 37 {
+		for b := uint64(0); b < 256; b += 41 {
+			want := Evaluate(orig, KoggeStoneAssign(8, a, b))
+			got := Evaluate(parsed, KoggeStoneAssign(8, a, b))
+			for name, wv := range want {
+				if got["out_"+name] != wv {
+					t.Fatalf("%d+%d: output %s differs", a, b, name)
+				}
+			}
+		}
+	}
+}
+
+func TestParseBenchSingleInputVariants(t *testing.T) {
+	src := `INPUT(a)
+OUTPUT(p)
+OUTPUT(q)
+p = AND(a)
+q = NAND(a)
+`
+	c, err := ParseBench(strings.NewReader(src), "deg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Evaluate(c, map[string]Value{"a": 1})
+	if out["out_p"] != 1 || out["out_q"] != 0 {
+		t.Fatalf("degenerate gates: p=%d q=%d", out["out_p"], out["out_q"])
+	}
+}

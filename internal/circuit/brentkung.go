@@ -1,0 +1,82 @@
+package circuit
+
+import "fmt"
+
+// BrentKung builds a width-bit Brent–Kung parallel-prefix adder: the
+// sparse counterpart of the Kogge–Stone adder, with about half the
+// prefix cells and roughly double the logic depth. It uses
+// the same terminal names as KoggeStone (a0.., b0.., s0.., cout), so
+// KoggeStoneAssign and KoggeStoneSum apply to both.
+//
+// The generator exists for parallelism studies: comparing its
+// available-parallelism profile against Kogge–Stone's isolates how much
+// of the simulator's exploitable parallelism comes from prefix-network
+// fanout, the effect the paper's Figure 1 discussion attributes the
+// limited speedups to.
+func BrentKung(width int) *Circuit {
+	if width < 1 {
+		panic("circuit: BrentKung width must be >= 1")
+	}
+	b := NewBuilder(fmt.Sprintf("brentkung-%d", width))
+	a := make([]NodeID, width)
+	bb := make([]NodeID, width)
+	for i := 0; i < width; i++ {
+		a[i] = b.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < width; i++ {
+		bb[i] = b.Input(fmt.Sprintf("b%d", i))
+	}
+
+	p := make([]NodeID, width)
+	g := make([]NodeID, width)
+	for i := 0; i < width; i++ {
+		p[i] = b.Xor(a[i], bb[i])
+		g[i] = b.And(a[i], bb[i])
+	}
+
+	G := make([]NodeID, width)
+	P := make([]NodeID, width)
+	copy(G, g)
+	copy(P, p)
+	combine := func(i, j int) {
+		// (G,P)[i] := (G,P)[i] ∘ (G,P)[j], the prefix operator.
+		t := b.And(P[i], G[j])
+		G[i] = b.Or(G[i], t)
+		P[i] = b.And(P[i], P[j])
+	}
+
+	// Up-sweep: build power-of-two-aligned group prefixes.
+	for d := 1; d < width; d <<= 1 {
+		for i := 2*d - 1; i < width; i += 2 * d {
+			combine(i, i-d)
+		}
+	}
+	// Down-sweep: fill in the remaining positions.
+	top := 1
+	for top < width {
+		top <<= 1
+	}
+	for d := top; d >= 2; d >>= 1 {
+		for i := d + d/2 - 1; i < width; i += d {
+			combine(i, i-d/2)
+		}
+	}
+
+	b.Output("s0", p[0])
+	for i := 1; i < width; i++ {
+		b.Output(fmt.Sprintf("s%d", i), b.Xor(p[i], G[i-1]))
+	}
+	b.Output("cout", G[width-1])
+	return b.MustBuild()
+}
+
+// PrefixAdderAssign maps operands onto any of the prefix adders
+// (Kogge–Stone, Brent–Kung), which share terminal names.
+func PrefixAdderAssign(width int, a, b uint64) map[string]Value {
+	return KoggeStoneAssign(width, a, b)
+}
+
+// PrefixAdderSum decodes any prefix adder's settled outputs.
+func PrefixAdderSum(width int, outs map[string]Value) uint64 {
+	return KoggeStoneSum(width, outs)
+}

@@ -1,0 +1,124 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBrentKungExhaustiveSmall(t *testing.T) {
+	for width := 1; width <= 4; width++ {
+		c := BrentKung(width)
+		limit := uint64(1) << uint(width)
+		for a := uint64(0); a < limit; a++ {
+			for b := uint64(0); b < limit; b++ {
+				out := Evaluate(c, PrefixAdderAssign(width, a, b))
+				if got := PrefixAdderSum(width, out); got != a+b {
+					t.Fatalf("width %d: %d+%d = %d, want %d", width, a, b, got, a+b)
+				}
+			}
+		}
+	}
+}
+
+func TestBrentKungNonPowerOfTwoWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, width := range []int{3, 5, 6, 7, 11, 13, 24} {
+		c := BrentKung(width)
+		mask := uint64(1)<<uint(width) - 1
+		for i := 0; i < 50; i++ {
+			a, b := rng.Uint64()&mask, rng.Uint64()&mask
+			out := Evaluate(c, PrefixAdderAssign(width, a, b))
+			if got := PrefixAdderSum(width, out); got != a+b {
+				t.Fatalf("width %d: %d+%d = %d, want %d", width, a, b, got, a+b)
+			}
+		}
+	}
+}
+
+func TestBrentKungProperty32(t *testing.T) {
+	c := BrentKung(32)
+	f := func(a, b uint32) bool {
+		out := Evaluate(c, PrefixAdderAssign(32, uint64(a), uint64(b)))
+		return PrefixAdderSum(32, out) == uint64(a)+uint64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBrentKungVsKoggeStoneStructure(t *testing.T) {
+	bk := BrentKung(64)
+	ks := KoggeStone(64)
+	// Brent-Kung trades cells for depth: fewer nodes, more levels.
+	if bk.NumNodes() >= ks.NumNodes() {
+		t.Errorf("BK nodes %d >= KS nodes %d", bk.NumNodes(), ks.NumNodes())
+	}
+	if bk.Depth() <= ks.Depth() {
+		t.Errorf("BK depth %d <= KS depth %d", bk.Depth(), ks.Depth())
+	}
+	// Brent-Kung uses roughly half the prefix cells of Kogge-Stone; at
+	// width 64 that is hundreds of gates.
+	if ks.NumNodes()-bk.NumNodes() < 200 {
+		t.Errorf("BK %d vs KS %d nodes: expected a much sparser network", bk.NumNodes(), ks.NumNodes())
+	}
+}
+
+func TestButterflyStructure(t *testing.T) {
+	for _, stages := range []int{1, 2, 3, 5} {
+		c := Butterfly(stages)
+		lanes := 1 << uint(stages)
+		if len(c.Inputs) != lanes || len(c.Outputs) != lanes {
+			t.Fatalf("stages %d: terminals %d/%d, want %d", stages, len(c.Inputs), len(c.Outputs), lanes)
+		}
+		wantGates := stages * lanes
+		if got := c.NumNodes() - 2*lanes; got != wantGates {
+			t.Fatalf("stages %d: %d gates, want %d", stages, got, wantGates)
+		}
+		if c.Depth() < stages {
+			t.Fatalf("stages %d: depth %d too small", stages, c.Depth())
+		}
+	}
+}
+
+// TestButterflyCompressorInvariant: each cell maps (x, y) to
+// (x XOR y, x AND y), so x + y = xor + 2*and. Population weight is
+// preserved per cell but redistributed; at the circuit level the total
+// integer weight with stage-appropriate coefficients is invariant. Here
+// we check the first stage directly: weight (count of ones, with AND
+// outputs counted twice) equals the input population count.
+func TestButterflyWeightInvariantOneStage(t *testing.T) {
+	c := Butterfly(1)
+	for pattern := 0; pattern < 4; pattern++ {
+		assign := map[string]Value{
+			"in0": Value(pattern & 1),
+			"in1": Value((pattern >> 1) & 1),
+		}
+		out := Evaluate(c, assign)
+		got := int(out["out0"]) + 2*int(out["out1"])
+		want := pattern&1 + (pattern>>1)&1
+		if got != want {
+			t.Fatalf("pattern %02b: xor+2*and = %d, want %d", pattern, got, want)
+		}
+	}
+}
+
+func TestButterflyAllEnginesAgree(t *testing.T) {
+	// Structural circuits must simulate identically everywhere; checked
+	// via the oracle in the core tests, here just by evaluation symmetry.
+	c := Butterfly(3)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 20; i++ {
+		assign := map[string]Value{}
+		for _, name := range c.InputNames() {
+			assign[name] = Value(rng.Intn(2))
+		}
+		out1 := Evaluate(c, assign)
+		out2 := Evaluate(c, assign)
+		for k, v := range out1 {
+			if out2[k] != v {
+				t.Fatalf("Evaluate not deterministic at %s", k)
+			}
+		}
+	}
+}

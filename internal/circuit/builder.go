@@ -1,0 +1,173 @@
+package circuit
+
+import (
+	"fmt"
+)
+
+// Builder assembles a Circuit incrementally. Declare terminals and gates,
+// then call Build, which wires fanouts, validates the graph (single
+// driver per port, no cycles, no dangling ports) and freezes it.
+type Builder struct {
+	name  string
+	nodes []Node
+	names map[string]NodeID
+	errs  []error
+}
+
+// NewBuilder returns an empty builder for a circuit with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, names: make(map[string]NodeID)}
+}
+
+func (b *Builder) addNode(kind Kind, name string, fanin ...NodeID) NodeID {
+	id := NodeID(len(b.nodes))
+	n := Node{ID: id, Kind: kind, Name: name, Fanin: [2]NodeID{NoNode, NoNode}}
+	if len(fanin) > kind.Arity() {
+		b.errs = append(b.errs, fmt.Errorf("node %d (%s): %d fanins for arity-%d kind", id, kind, len(fanin), kind.Arity()))
+	}
+	for i, src := range fanin {
+		if i < 2 {
+			n.Fanin[i] = src
+		}
+	}
+	b.nodes = append(b.nodes, n)
+	if name != "" {
+		if _, dup := b.names[name]; dup {
+			b.errs = append(b.errs, fmt.Errorf("duplicate terminal name %q", name))
+		}
+		b.names[name] = id
+	}
+	return id
+}
+
+// Input declares a circuit input terminal.
+func (b *Builder) Input(name string) NodeID {
+	return b.addNode(Input, name)
+}
+
+// Output declares a circuit output terminal driven by src.
+func (b *Builder) Output(name string, src NodeID) NodeID {
+	return b.addNode(Output, name, src)
+}
+
+// Gate1 adds a 1-input gate (Buf or Not).
+func (b *Builder) Gate1(kind Kind, a NodeID) NodeID {
+	if kind.Arity() != 1 {
+		b.errs = append(b.errs, fmt.Errorf("Gate1 with arity-%d kind %s", kind.Arity(), kind))
+	}
+	return b.addNode(kind, "", a)
+}
+
+// Gate2 adds a 2-input gate.
+func (b *Builder) Gate2(kind Kind, a, fanin2 NodeID) NodeID {
+	if kind.Arity() != 2 {
+		b.errs = append(b.errs, fmt.Errorf("Gate2 with arity-%d kind %s", kind.Arity(), kind))
+	}
+	return b.addNode(kind, "", a, fanin2)
+}
+
+// Convenience gate constructors.
+
+// And adds an AND gate.
+func (b *Builder) And(a, c NodeID) NodeID { return b.Gate2(And, a, c) }
+
+// Or adds an OR gate.
+func (b *Builder) Or(a, c NodeID) NodeID { return b.Gate2(Or, a, c) }
+
+// Xor adds an XOR gate.
+func (b *Builder) Xor(a, c NodeID) NodeID { return b.Gate2(Xor, a, c) }
+
+// Nand adds a NAND gate.
+func (b *Builder) Nand(a, c NodeID) NodeID { return b.Gate2(Nand, a, c) }
+
+// Nor adds a NOR gate.
+func (b *Builder) Nor(a, c NodeID) NodeID { return b.Gate2(Nor, a, c) }
+
+// Xnor adds an XNOR gate.
+func (b *Builder) Xnor(a, c NodeID) NodeID { return b.Gate2(Xnor, a, c) }
+
+// Not adds an inverter.
+func (b *Builder) Not(a NodeID) NodeID { return b.Gate1(Not, a) }
+
+// Buf adds a buffer.
+func (b *Builder) Buf(a NodeID) NodeID { return b.Gate1(Buf, a) }
+
+// Build validates and freezes the circuit.
+func (b *Builder) Build() (*Circuit, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	c := &Circuit{Name: b.name, Nodes: b.nodes, byName: b.names}
+	// Wire fanouts and validate fanins.
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		for p := 0; p < n.NumIn(); p++ {
+			src := n.Fanin[p]
+			if src == NoNode {
+				return nil, fmt.Errorf("node %d (%s): input port %d not driven", n.ID, n.Kind, p)
+			}
+			if src < 0 || int(src) >= len(c.Nodes) {
+				return nil, fmt.Errorf("node %d: fanin %d out of range", n.ID, src)
+			}
+			if c.Nodes[src].Kind == Output {
+				return nil, fmt.Errorf("node %d: driven by output terminal %d", n.ID, src)
+			}
+			c.Nodes[src].Fanout = append(c.Nodes[src].Fanout, Port{Node: n.ID, In: p})
+		}
+		switch n.Kind {
+		case Input:
+			c.Inputs = append(c.Inputs, n.ID)
+		case Output:
+			c.Outputs = append(c.Outputs, n.ID)
+		}
+	}
+	// Topological order (Kahn) to reject cycles and compute depth.
+	indeg := make([]int, len(c.Nodes))
+	for i := range c.Nodes {
+		indeg[i] = c.Nodes[i].NumIn()
+	}
+	level := make([]int, len(c.Nodes))
+	var frontier []NodeID
+	for i := range c.Nodes {
+		if indeg[i] == 0 {
+			frontier = append(frontier, NodeID(i))
+		}
+	}
+	visited := 0
+	for len(frontier) > 0 {
+		id := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		visited++
+		for _, port := range c.Nodes[id].Fanout {
+			if l := level[id] + 1; l > level[port.Node] {
+				level[port.Node] = l
+			}
+			indeg[port.Node]--
+			if indeg[port.Node] == 0 {
+				frontier = append(frontier, port.Node)
+			}
+		}
+	}
+	if visited != len(c.Nodes) {
+		return nil, fmt.Errorf("circuit %q contains a cycle (%d of %d nodes reachable)", b.name, visited, len(c.Nodes))
+	}
+	for i := range c.Nodes {
+		if level[i] > c.depth {
+			c.depth = level[i]
+		}
+	}
+	if len(c.Inputs) == 0 {
+		return nil, fmt.Errorf("circuit %q has no input terminals", b.name)
+	}
+	return c, nil
+}
+
+// MustBuild is Build, panicking on error; intended for generators whose
+// construction is correct by design.
+func (b *Builder) MustBuild() *Circuit {
+	c, err := b.Build()
+	if err != nil {
+		panic("circuit: " + err.Error())
+	}
+	return c
+}

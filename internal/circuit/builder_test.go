@@ -1,0 +1,158 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildFullAdderShape(t *testing.T) {
+	c := FullAdder()
+	// 3 inputs + 5 gates (xor, xor, and, and, or) + 2 outputs.
+	if c.NumNodes() != 10 {
+		t.Errorf("NumNodes = %d, want 10", c.NumNodes())
+	}
+	// Gate fanins: 2*5; output fanins: 2.
+	if c.NumEdges() != 12 {
+		t.Errorf("NumEdges = %d, want 12", c.NumEdges())
+	}
+	// Longest path: a -> axb -> and -> or -> cout = 4 edges.
+	if c.Depth() != 4 {
+		t.Errorf("Depth = %d, want 4", c.Depth())
+	}
+	if len(c.Inputs) != 3 || len(c.Outputs) != 2 {
+		t.Errorf("inputs=%d outputs=%d", len(c.Inputs), len(c.Outputs))
+	}
+	if _, ok := c.ByName("cin"); !ok {
+		t.Error("ByName(cin) failed")
+	}
+	if _, ok := c.ByName("nope"); ok {
+		t.Error("ByName accepted unknown name")
+	}
+}
+
+func TestBuildRejectsDuplicateNames(t *testing.T) {
+	b := NewBuilder("dup")
+	b.Input("x")
+	b.Input("x")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("Build err = %v, want duplicate-name error", err)
+	}
+}
+
+func TestBuildRejectsCycle(t *testing.T) {
+	b := NewBuilder("cycle")
+	in := b.Input("in")
+	// Forward-reference the gate we are about to create (its own ID),
+	// forming a self-loop.
+	self := NodeID(2) // in=0, so the AND below gets ID 1... use explicit forward ref
+	g1 := b.And(in, self)
+	_ = b.And(g1, g1) // this node has ID 2 and is referenced by g1
+	b.Output("out", g1)
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("Build err = %v, want cycle error", err)
+	}
+}
+
+func TestBuildRejectsOutOfRangeFanin(t *testing.T) {
+	b := NewBuilder("range")
+	in := b.Input("in")
+	b.Output("out", b.And(in, NodeID(99)))
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build accepted out-of-range fanin")
+	}
+}
+
+func TestBuildRejectsOutputAsDriver(t *testing.T) {
+	b := NewBuilder("outdrive")
+	in := b.Input("in")
+	out := b.Output("out", in)
+	b.Output("out2", b.Buf(out))
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "output terminal") {
+		t.Fatalf("Build err = %v, want output-terminal error", err)
+	}
+}
+
+func TestBuildRejectsNoInputs(t *testing.T) {
+	b := NewBuilder("empty")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build accepted a circuit with no inputs")
+	}
+}
+
+func TestBuildRejectsWrongGateArity(t *testing.T) {
+	b := NewBuilder("arity")
+	in := b.Input("in")
+	b.Gate1(And, in) // And is 2-input
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build accepted Gate1(And)")
+	}
+	b2 := NewBuilder("arity2")
+	in2 := b2.Input("in")
+	b2.Gate2(Not, in2, in2) // Not is 1-input
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("Build accepted Gate2(Not)")
+	}
+}
+
+func TestMustBuildPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic")
+		}
+	}()
+	b := NewBuilder("bad")
+	b.Input("x")
+	b.Input("x")
+	b.MustBuild()
+}
+
+func TestFanoutWiring(t *testing.T) {
+	b := NewBuilder("fanout")
+	in := b.Input("in")
+	g1 := b.Buf(in)
+	g2 := b.Not(in)
+	g3 := b.And(g1, g2)
+	b.Output("out", g3)
+	c := b.MustBuild()
+	// in drives g1 and g2.
+	if got := len(c.Node(in).Fanout); got != 2 {
+		t.Fatalf("input fanout = %d, want 2", got)
+	}
+	// g3 receives g1 on port 0 and g2 on port 1.
+	found := map[int]NodeID{}
+	for _, p := range c.Node(g1).Fanout {
+		if p.Node == g3 {
+			found[p.In] = g1
+		}
+	}
+	for _, p := range c.Node(g2).Fanout {
+		if p.Node == g3 {
+			found[p.In] = g2
+		}
+	}
+	if found[0] != g1 || found[1] != g2 {
+		t.Fatalf("fanout ports wrong: %v", found)
+	}
+}
+
+func TestProfileAndString(t *testing.T) {
+	c := FullAdder()
+	p := c.Profile()
+	if p.Nodes != 10 || p.Edges != 12 || p.Inputs != 3 || p.Outputs != 2 || p.Depth != 4 {
+		t.Fatalf("Profile = %+v", p)
+	}
+	if c.String() == "" || !strings.Contains(c.String(), "fulladder") {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+func TestSettleTimePositiveAndMonotone(t *testing.T) {
+	small := KoggeStone(4)
+	big := KoggeStone(64)
+	if small.SettleTime() <= 0 {
+		t.Fatal("SettleTime <= 0")
+	}
+	if big.SettleTime() <= small.SettleTime() {
+		t.Fatalf("SettleTime not monotone with depth: %d vs %d", big.SettleTime(), small.SettleTime())
+	}
+}

@@ -1,0 +1,43 @@
+package circuit
+
+import "fmt"
+
+// Butterfly builds a stages-stage butterfly network over 2^stages lanes
+// — the multistage-interconnection topology of the communication systems
+// the paper's introduction motivates (and of FFT dataflow). Each stage s
+// pairs lane i with lane i XOR 2^s and replaces the pair with a
+// compressor cell: the low lane becomes XOR(x, y) and the high lane
+// AND(x, y) (a half adder, so the network is a population compressor).
+// Inputs are in0..in{2^s-1}; outputs out0..out{2^s-1}.
+//
+// The butterfly's all-to-all connectivity gives it a broad, flat
+// available-parallelism profile, the opposite of ParityChain — useful
+// for studying how topology shapes the simulator's exploitable
+// parallelism.
+func Butterfly(stages int) *Circuit {
+	if stages < 1 {
+		panic("circuit: Butterfly needs stages >= 1")
+	}
+	lanes := 1 << uint(stages)
+	b := NewBuilder(fmt.Sprintf("butterfly-%d", stages))
+	cur := make([]NodeID, lanes)
+	for i := range cur {
+		cur[i] = b.Input(fmt.Sprintf("in%d", i))
+	}
+	next := make([]NodeID, lanes)
+	for s := 0; s < stages; s++ {
+		bit := 1 << uint(s)
+		for i := 0; i < lanes; i++ {
+			j := i ^ bit
+			if i < j {
+				next[i] = b.Xor(cur[i], cur[j])
+				next[j] = b.And(cur[i], cur[j])
+			}
+		}
+		cur, next = next, cur
+	}
+	for i, n := range cur {
+		b.Output(fmt.Sprintf("out%d", i), n)
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,64 @@
+package circuit
+
+import "testing"
+
+// c17Reference computes the ISCAS-85 c17 outputs directly.
+func c17Reference(n1, n2, n3, n6, n7 Value) (n22, n23 Value) {
+	nand := func(a, b Value) Value { return (a & b) ^ 1 }
+	g10 := nand(n1, n3)
+	g11 := nand(n3, n6)
+	g16 := nand(n2, g11)
+	g19 := nand(g11, n7)
+	return nand(g10, g16), nand(g16, g19)
+}
+
+func TestC17ExhaustiveTruthTable(t *testing.T) {
+	c := C17()
+	if c.NumNodes() != 5+6+2 {
+		t.Fatalf("c17 nodes = %d, want 13", c.NumNodes())
+	}
+	for bits := 0; bits < 32; bits++ {
+		in := [5]Value{}
+		for i := range in {
+			in[i] = Value((bits >> i) & 1)
+		}
+		out := Evaluate(c, map[string]Value{
+			"n1": in[0], "n2": in[1], "n3": in[2], "n6": in[3], "n7": in[4],
+		})
+		w22, w23 := c17Reference(in[0], in[1], in[2], in[3], in[4])
+		if out["n22"] != w22 || out["n23"] != w23 {
+			t.Fatalf("inputs %05b: got (%d,%d), want (%d,%d)",
+				bits, out["n22"], out["n23"], w22, w23)
+		}
+	}
+}
+
+func TestVectorWavesChangedReducesEvents(t *testing.T) {
+	c := C17()
+	waves := []map[string]Value{
+		{"n1": 1, "n2": 0, "n3": 1, "n6": 0, "n7": 1},
+		{"n1": 1, "n2": 0, "n3": 1, "n6": 0, "n7": 1}, // identical: no events
+		{"n1": 0, "n2": 0, "n3": 1, "n6": 0, "n7": 1}, // one change
+	}
+	full := VectorWaves(c, waves, 100)
+	changed := VectorWavesChanged(c, waves, 100)
+	if full.NumEvents() != 15 {
+		t.Fatalf("full events = %d, want 15", full.NumEvents())
+	}
+	if changed.NumEvents() != 5+0+1 {
+		t.Fatalf("changed events = %d, want 6", changed.NumEvents())
+	}
+	if err := changed.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorWavesChangedFirstWaveComplete(t *testing.T) {
+	c := FullAdder()
+	s := VectorWavesChanged(c, []map[string]Value{{"a": 0, "b": 0, "cin": 0}}, 10)
+	// Even an all-Low first wave emits one event per input (the initial
+	// value announcement).
+	if s.NumEvents() != 3 {
+		t.Fatalf("first-wave events = %d, want 3", s.NumEvents())
+	}
+}

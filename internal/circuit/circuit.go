@@ -1,0 +1,112 @@
+package circuit
+
+import (
+	"fmt"
+)
+
+// NodeID indexes a node within its Circuit.
+type NodeID int32
+
+// NoNode marks an unused fanin slot.
+const NoNode NodeID = -1
+
+// Port addresses one input port of one node: the endpoint of an edge.
+type Port struct {
+	Node NodeID
+	In   int // input port index on Node (0 or 1)
+}
+
+// Node is one vertex of the circuit graph. Fanin lists the source node
+// driving each input port; Fanout lists every input port our output
+// drives. Nodes are immutable after Build.
+type Node struct {
+	ID     NodeID
+	Kind   Kind
+	Name   string // non-empty for Input/Output terminals
+	Fanin  [2]NodeID
+	Fanout []Port
+}
+
+// NumIn reports the number of wired input ports.
+func (n *Node) NumIn() int { return n.Kind.Arity() }
+
+// Circuit is an immutable combinational circuit graph. Build one with a
+// Builder, a generator (KoggeStone, TreeMultiplier, RandomDAG), or
+// ParseNetlist.
+type Circuit struct {
+	Name    string
+	Nodes   []Node   // indexed by NodeID
+	Inputs  []NodeID // input terminals, in declaration order
+	Outputs []NodeID // output terminals, in declaration order
+	byName  map[string]NodeID
+	depth   int // longest input→output path, in edges
+}
+
+// NumNodes reports the total node count (terminals included), the
+// paper's Table 1 "# nodes".
+func (c *Circuit) NumNodes() int { return len(c.Nodes) }
+
+// NumEdges reports the number of directed edges (wired input ports), the
+// paper's Table 1 "# edges".
+func (c *Circuit) NumEdges() int {
+	edges := 0
+	for i := range c.Nodes {
+		edges += c.Nodes[i].NumIn()
+	}
+	return edges
+}
+
+// Depth reports the longest path from an input to an output, in edges.
+func (c *Circuit) Depth() int { return c.depth }
+
+// Node returns the node with the given ID.
+func (c *Circuit) Node(id NodeID) *Node { return &c.Nodes[id] }
+
+// ByName returns the terminal with the given name.
+func (c *Circuit) ByName(name string) (NodeID, bool) {
+	id, ok := c.byName[name]
+	return id, ok
+}
+
+// SettleTime returns an upper bound on the time for the circuit to settle
+// after simultaneous input transitions: every gate delay plus wire delay
+// along the deepest path.
+func (c *Circuit) SettleTime() int64 {
+	maxKindDelay := int64(0)
+	for k := Kind(0); k < numKinds; k++ {
+		if k.Delay() > maxKindDelay {
+			maxKindDelay = k.Delay()
+		}
+	}
+	return int64(c.depth+1) * (maxKindDelay + WireDelay)
+}
+
+// Profile describes a circuit the way the paper's Table 1 does. The
+// event columns depend on a stimulus and are filled by callers.
+type Profile struct {
+	Name          string
+	Nodes         int
+	Edges         int
+	Inputs        int
+	Outputs       int
+	Depth         int
+	InitialEvents int   // filled from a Stimulus
+	TotalEvents   int64 // filled by a reference simulation run
+}
+
+// Profile computes the static columns of the circuit's profile.
+func (c *Circuit) Profile() Profile {
+	return Profile{
+		Name:    c.Name,
+		Nodes:   c.NumNodes(),
+		Edges:   c.NumEdges(),
+		Inputs:  len(c.Inputs),
+		Outputs: len(c.Outputs),
+		Depth:   c.depth,
+	}
+}
+
+func (c *Circuit) String() string {
+	return fmt.Sprintf("%s{nodes=%d edges=%d in=%d out=%d depth=%d}",
+		c.Name, c.NumNodes(), c.NumEdges(), len(c.Inputs), len(c.Outputs), c.depth)
+}

@@ -1,0 +1,44 @@
+package circuit
+
+// Evaluate computes the circuit's settled output values for one input
+// assignment by direct levelized evaluation in topological order. It is
+// independent of the event-driven simulator and serves as the functional
+// oracle for it: after a DES run settles, the last value observed at each
+// output node must equal Evaluate's result.
+//
+// Inputs missing from assign drive Low.
+func Evaluate(c *Circuit, assign map[string]Value) map[string]Value {
+	vals := make([]Value, len(c.Nodes))
+	indeg := make([]int, len(c.Nodes))
+	var frontier []NodeID
+	for i := range c.Nodes {
+		indeg[i] = c.Nodes[i].NumIn()
+		if indeg[i] == 0 {
+			frontier = append(frontier, NodeID(i))
+		}
+	}
+	for len(frontier) > 0 {
+		id := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		n := &c.Nodes[id]
+		switch n.Kind {
+		case Input:
+			vals[id] = assign[n.Name]
+		case Output, Buf, Not:
+			vals[id] = n.Kind.Eval(vals[n.Fanin[0]], 0)
+		default:
+			vals[id] = n.Kind.Eval(vals[n.Fanin[0]], vals[n.Fanin[1]])
+		}
+		for _, port := range n.Fanout {
+			indeg[port.Node]--
+			if indeg[port.Node] == 0 {
+				frontier = append(frontier, port.Node)
+			}
+		}
+	}
+	out := make(map[string]Value, len(c.Outputs))
+	for _, id := range c.Outputs {
+		out[c.Nodes[id].Name] = vals[id]
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package circuit
+
+import "testing"
+
+func TestEvaluateFullAdderTruthTable(t *testing.T) {
+	c := FullAdder()
+	for bits := 0; bits < 8; bits++ {
+		a, b, cin := Value(bits&1), Value((bits>>1)&1), Value((bits>>2)&1)
+		out := Evaluate(c, map[string]Value{"a": a, "b": b, "cin": cin})
+		total := int(a) + int(b) + int(cin)
+		if got := int(out["sum"]) + 2*int(out["cout"]); got != total {
+			t.Errorf("a=%d b=%d cin=%d: sum=%d cout=%d (total %d, want %d)",
+				a, b, cin, out["sum"], out["cout"], got, total)
+		}
+	}
+}
+
+func TestEvaluateMux2(t *testing.T) {
+	c := Mux2()
+	for bits := 0; bits < 8; bits++ {
+		d0, d1, sel := Value(bits&1), Value((bits>>1)&1), Value((bits>>2)&1)
+		out := Evaluate(c, map[string]Value{"d0": d0, "d1": d1, "sel": sel})
+		want := d0
+		if sel == 1 {
+			want = d1
+		}
+		if out["y"] != want {
+			t.Errorf("d0=%d d1=%d sel=%d: y=%d want %d", d0, d1, sel, out["y"], want)
+		}
+	}
+}
+
+func TestEvaluateParityChain(t *testing.T) {
+	c := ParityChain(8)
+	for pattern := 0; pattern < 256; pattern++ {
+		assign := map[string]Value{}
+		parity := Value(0)
+		for i := 0; i < 8; i++ {
+			v := Value((pattern >> i) & 1)
+			assign[c.Nodes[c.Inputs[i]].Name] = v
+			parity ^= v
+		}
+		if out := Evaluate(c, assign); out["parity"] != parity {
+			t.Errorf("pattern %08b: parity=%d want %d", pattern, out["parity"], parity)
+		}
+	}
+}
+
+func TestEvaluateMissingInputsDriveLow(t *testing.T) {
+	c := FullAdder()
+	out := Evaluate(c, map[string]Value{"a": 1})
+	if out["sum"] != 1 || out["cout"] != 0 {
+		t.Errorf("a=1 only: sum=%d cout=%d, want 1, 0", out["sum"], out["cout"])
+	}
+}
+
+func TestEvaluateFanoutTree(t *testing.T) {
+	c := FanoutTree(4)
+	out := Evaluate(c, map[string]Value{"in": 1})
+	if len(out) != 16 {
+		t.Fatalf("leaves = %d, want 16", len(out))
+	}
+	for name, v := range out {
+		if v != 1 {
+			t.Errorf("leaf %s = %d, want 1", name, v)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package circuit_test
+
+import (
+	"fmt"
+
+	"hjdes/internal/circuit"
+)
+
+// Build a circuit by hand and evaluate it combinationally.
+func ExampleBuilder() {
+	b := circuit.NewBuilder("halfadder")
+	x := b.Input("x")
+	y := b.Input("y")
+	b.Output("sum", b.Xor(x, y))
+	b.Output("carry", b.And(x, y))
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	out := circuit.Evaluate(c, map[string]circuit.Value{"x": 1, "y": 1})
+	fmt.Printf("1+1 = carry %s sum %s\n", out["carry"], out["sum"])
+	// Output: 1+1 = carry 1 sum 0
+}
+
+// Generate one of the paper's evaluation circuits and decode a sum.
+func ExampleKoggeStone() {
+	c := circuit.KoggeStone(16)
+	out := circuit.Evaluate(c, circuit.KoggeStoneAssign(16, 1234, 4321))
+	fmt.Println(circuit.KoggeStoneSum(16, out))
+	// Output: 5555
+}
+
+// A stimulus turns operand vectors into the simulation's initial events.
+func ExampleVectorWaves() {
+	c := circuit.FullAdder()
+	stim := circuit.VectorWaves(c, []map[string]circuit.Value{
+		{"a": 1, "b": 0, "cin": 0},
+		{"a": 1, "b": 1, "cin": 1},
+	}, 100)
+	fmt.Println(stim.NumEvents())
+	// Output: 6
+}

@@ -1,0 +1,86 @@
+package circuit
+
+import "fmt"
+
+// FullAdder builds the classic 1-bit full adder: inputs "a", "b", "cin";
+// outputs "sum", "cout". Used throughout the tests as the smallest
+// interesting circuit.
+func FullAdder() *Circuit {
+	b := NewBuilder("fulladder")
+	a := b.Input("a")
+	bi := b.Input("b")
+	cin := b.Input("cin")
+	axb := b.Xor(a, bi)
+	b.Output("sum", b.Xor(axb, cin))
+	b.Output("cout", b.Or(b.And(a, bi), b.And(axb, cin)))
+	return b.MustBuild()
+}
+
+// ParityChain builds a linear chain of XOR gates computing the parity of
+// n inputs — a worst case for parallelism (depth n, no fanout), the
+// opposite extreme from FanoutTree.
+func ParityChain(n int) *Circuit {
+	if n < 2 {
+		panic("circuit: ParityChain needs >= 2 inputs")
+	}
+	b := NewBuilder(fmt.Sprintf("parity-%d", n))
+	acc := b.Input("in0")
+	for i := 1; i < n; i++ {
+		acc = b.Xor(acc, b.Input(fmt.Sprintf("in%d", i)))
+	}
+	b.Output("parity", acc)
+	return b.MustBuild()
+}
+
+// FanoutTree builds one input driving a complete binary tree of buffers
+// of the given depth, with every leaf observed — a best case for
+// parallelism (maximal fanout, no reconvergence).
+func FanoutTree(depth int) *Circuit {
+	if depth < 1 {
+		panic("circuit: FanoutTree needs depth >= 1")
+	}
+	b := NewBuilder(fmt.Sprintf("fanout-%d", depth))
+	frontier := []NodeID{b.Input("in")}
+	for d := 0; d < depth; d++ {
+		var next []NodeID
+		for _, n := range frontier {
+			next = append(next, b.Buf(n), b.Buf(n))
+		}
+		frontier = next
+	}
+	for i, n := range frontier {
+		b.Output(fmt.Sprintf("leaf%d", i), n)
+	}
+	return b.MustBuild()
+}
+
+// C17 builds the classic ISCAS-85 c17 benchmark circuit: five inputs
+// (n1, n2, n3, n6, n7), two outputs (n22, n23), six NAND gates. It is
+// the smallest standard netlist in the circuit-testing literature and a
+// convenient fixed regression target.
+func C17() *Circuit {
+	b := NewBuilder("c17")
+	n1 := b.Input("n1")
+	n2 := b.Input("n2")
+	n3 := b.Input("n3")
+	n6 := b.Input("n6")
+	n7 := b.Input("n7")
+	g10 := b.Nand(n1, n3)
+	g11 := b.Nand(n3, n6)
+	g16 := b.Nand(n2, g11)
+	g19 := b.Nand(g11, n7)
+	b.Output("n22", b.Nand(g10, g16))
+	b.Output("n23", b.Nand(g16, g19))
+	return b.MustBuild()
+}
+
+// Mux2 builds a 2:1 multiplexer: inputs "d0", "d1", "sel"; output "y" =
+// sel ? d1 : d0.
+func Mux2() *Circuit {
+	b := NewBuilder("mux2")
+	d0 := b.Input("d0")
+	d1 := b.Input("d1")
+	sel := b.Input("sel")
+	b.Output("y", b.Or(b.And(d0, b.Not(sel)), b.And(d1, sel)))
+	return b.MustBuild()
+}

@@ -1,0 +1,98 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNetlistNeverPanics feeds arbitrary bytes and structured
+// garbage to the parser: it must return an error or a valid circuit,
+// never panic.
+func TestParseNetlistNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("ParseNetlist panicked on %q: %v", data, r)
+			}
+		}()
+		c, err := ParseNetlist(strings.NewReader(string(data)))
+		if err == nil && c == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseNetlistStructuredGarbage mutates a valid netlist line by line
+// and checks the parser degrades to errors, not panics or corrupt
+// circuits.
+func TestParseNetlistStructuredGarbage(t *testing.T) {
+	base := []string{
+		"circuit g",
+		"input 0 x",
+		"input 1 y",
+		"gate 2 AND 0 1",
+		"output 3 z 2",
+	}
+	mutations := []string{
+		"gate 2 AND 0 0 0 0", "gate 2 AND -1 1", "gate 99 AND 0 1",
+		"input 1 x", "output 3 z 99", "gate 2 OUTPUT 0", "gate 2 INPUT",
+		"circuit another", "gate two AND 0 1", "output 3", "",
+	}
+	for _, mut := range mutations {
+		for pos := 1; pos < len(base); pos++ {
+			lines := append([]string{}, base[:pos]...)
+			lines = append(lines, mut)
+			lines = append(lines, base[pos:]...)
+			src := strings.Join(lines, "\n")
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Errorf("panic on mutation %q at %d: %v", mut, pos, r)
+					}
+				}()
+				c, err := ParseNetlist(strings.NewReader(src))
+				if err == nil && c != nil {
+					// If it parsed, it must at least be self-consistent.
+					if c.NumNodes() == 0 {
+						t.Errorf("mutation %q at %d: empty circuit accepted", mut, pos)
+					}
+				}
+			}()
+		}
+	}
+}
+
+// TestBuilderHandlesDegenerateGraphs exercises odd but legal shapes.
+func TestBuilderHandlesDegenerateGraphs(t *testing.T) {
+	// A gate feeding both of its consumer's ports.
+	b := NewBuilder("both-ports")
+	in := b.Input("x")
+	n := b.Not(in)
+	b.Output("y", b.Xor(n, n)) // x XOR x == 0 via shared fanin
+	c := b.MustBuild()
+	out := Evaluate(c, map[string]Value{"x": 1})
+	if out["y"] != 0 {
+		t.Fatalf("x^x = %d, want 0", out["y"])
+	}
+	// Input wired straight to output.
+	b2 := NewBuilder("wire")
+	b2.Output("o", b2.Input("i"))
+	c2 := b2.MustBuild()
+	if out := Evaluate(c2, map[string]Value{"i": 1}); out["o"] != 1 {
+		t.Fatalf("pass-through = %d", out["o"])
+	}
+	// A dead gate (no fanout) must be tolerated.
+	b3 := NewBuilder("dead")
+	i3 := b3.Input("i")
+	b3.Not(i3) // never observed
+	b3.Output("o", i3)
+	c3 := b3.MustBuild()
+	if c3.NumNodes() != 3 {
+		t.Fatalf("dead-gate circuit nodes = %d", c3.NumNodes())
+	}
+}

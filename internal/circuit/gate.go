@@ -1,0 +1,123 @@
+// Package circuit models combinational logic circuits as directed acyclic
+// graphs, following Section 4.1 of the paper: every logic gate is a node,
+// every connection from an output port to an input port is a directed
+// edge, circuit inputs and outputs are dedicated input/output nodes, each
+// gate has one output port and one or two input ports, each input port is
+// driven by exactly one source, and the output port may fan out to many
+// destinations. The package also provides the circuit generators used by
+// the paper's evaluation (Kogge–Stone adders and a tree multiplier), a
+// text netlist format, and stimulus (initial event) generators.
+package circuit
+
+import "fmt"
+
+// Value is a logic level on a wire: 0 or 1.
+type Value uint8
+
+// Logic levels.
+const (
+	Low  Value = 0
+	High Value = 1
+)
+
+func (v Value) String() string {
+	if v == 0 {
+		return "0"
+	}
+	return "1"
+}
+
+// Kind identifies the function of a node.
+type Kind uint8
+
+// Node kinds. Input and Output are the paper's input/output nodes; the
+// rest are logic gates.
+const (
+	Input  Kind = iota // circuit input terminal: no fanin, injects initial events
+	Output             // circuit output terminal: one fanin, absorbs events
+	Buf                // 1-input buffer
+	Not                // 1-input inverter
+	And                // 2-input AND
+	Or                 // 2-input OR
+	Nand               // 2-input NAND
+	Nor                // 2-input NOR
+	Xor                // 2-input XOR
+	Xnor               // 2-input XNOR
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	Input: "INPUT", Output: "OUTPUT", Buf: "BUF", Not: "NOT",
+	And: "AND", Or: "OR", Nand: "NAND", Nor: "NOR", Xor: "XOR", Xnor: "XNOR",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// KindFromName parses a kind name as written in netlist files.
+func KindFromName(s string) (Kind, bool) {
+	for k, name := range kindNames {
+		if name == s {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+// arity of each kind (number of input ports).
+var kindArity = [numKinds]int{
+	Input: 0, Output: 1, Buf: 1, Not: 1,
+	And: 2, Or: 2, Nand: 2, Nor: 2, Xor: 2, Xnor: 2,
+}
+
+// Arity reports the number of input ports of the kind.
+func (k Kind) Arity() int { return kindArity[k] }
+
+// IsGate reports whether the kind is a logic gate (not a terminal).
+func (k Kind) IsGate() bool { return k != Input && k != Output }
+
+// Per-kind processing delays, in simulated time units. The paper assigns
+// a constant processing delay per gate type and a constant signal
+// propagation time between gates (WireDelay). The exact values are not
+// given in the paper; these follow typical gate-complexity ordering
+// (XOR-family slowest, inverters fastest).
+var kindDelay = [numKinds]int64{
+	Input: 0, Output: 0, Buf: 1, Not: 1,
+	And: 2, Or: 2, Nand: 2, Nor: 2, Xor: 3, Xnor: 3,
+}
+
+// Delay reports the processing delay of the kind.
+func (k Kind) Delay() int64 { return kindDelay[k] }
+
+// WireDelay is the constant signal propagation time between neighboring
+// nodes, applied on every edge.
+const WireDelay int64 = 1
+
+// Eval computes the gate function for input values a and b. For 1-input
+// kinds, b is ignored; for terminals, the value passes through.
+func (k Kind) Eval(a, b Value) Value {
+	switch k {
+	case Input, Output, Buf:
+		return a
+	case Not:
+		return a ^ 1
+	case And:
+		return a & b
+	case Or:
+		return a | b
+	case Nand:
+		return (a & b) ^ 1
+	case Nor:
+		return (a | b) ^ 1
+	case Xor:
+		return a ^ b
+	case Xnor:
+		return (a ^ b) ^ 1
+	default:
+		panic(fmt.Sprintf("circuit: Eval on invalid kind %d", k))
+	}
+}

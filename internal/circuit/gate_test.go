@@ -1,0 +1,82 @@
+package circuit
+
+import "testing"
+
+func TestKindEvalTruthTables(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		want [4]Value // results for (a,b) = 00, 01, 10, 11
+	}{
+		{And, [4]Value{0, 0, 0, 1}},
+		{Or, [4]Value{0, 1, 1, 1}},
+		{Nand, [4]Value{1, 1, 1, 0}},
+		{Nor, [4]Value{1, 0, 0, 0}},
+		{Xor, [4]Value{0, 1, 1, 0}},
+		{Xnor, [4]Value{1, 0, 0, 1}},
+	}
+	for _, tc := range cases {
+		for i := 0; i < 4; i++ {
+			a, b := Value(i>>1), Value(i&1)
+			if got := tc.kind.Eval(a, b); got != tc.want[i] {
+				t.Errorf("%s.Eval(%d,%d) = %d, want %d", tc.kind, a, b, got, tc.want[i])
+			}
+		}
+	}
+}
+
+func TestKindEvalUnary(t *testing.T) {
+	for _, a := range []Value{0, 1} {
+		if got := Not.Eval(a, 0); got != a^1 {
+			t.Errorf("Not.Eval(%d) = %d", a, got)
+		}
+		if got := Buf.Eval(a, 1); got != a {
+			t.Errorf("Buf.Eval(%d) = %d", a, got)
+		}
+		if got := Output.Eval(a, 1); got != a {
+			t.Errorf("Output.Eval(%d) = %d", a, got)
+		}
+	}
+}
+
+func TestKindArity(t *testing.T) {
+	for _, tc := range []struct {
+		k    Kind
+		want int
+	}{
+		{Input, 0}, {Output, 1}, {Buf, 1}, {Not, 1},
+		{And, 2}, {Or, 2}, {Nand, 2}, {Nor, 2}, {Xor, 2}, {Xnor, 2},
+	} {
+		if tc.k.Arity() != tc.want {
+			t.Errorf("%s.Arity() = %d, want %d", tc.k, tc.k.Arity(), tc.want)
+		}
+	}
+}
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		got, ok := KindFromName(k.String())
+		if !ok || got != k {
+			t.Errorf("KindFromName(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := KindFromName("FROB"); ok {
+		t.Error("KindFromName accepted an unknown name")
+	}
+}
+
+func TestKindDelaysPositiveForGates(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.IsGate() && k.Delay() <= 0 {
+			t.Errorf("%s.Delay() = %d, want > 0", k, k.Delay())
+		}
+	}
+	if WireDelay <= 0 {
+		t.Error("WireDelay must be positive")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if Low.String() != "0" || High.String() != "1" {
+		t.Error("Value.String wrong")
+	}
+}

@@ -1,0 +1,82 @@
+package circuit
+
+import "fmt"
+
+// KoggeStone builds a width-bit Kogge–Stone parallel-prefix tree adder
+// [Kogge & Stone 1973], one of the three evaluation circuits of the paper
+// (used at widths 64 and 128). Inputs are named a0..a{w-1} and
+// b0..b{w-1}; outputs are the sum bits s0..s{w-1} and the carry-out
+// "cout".
+//
+// Structure: bitwise propagate (XOR) and generate (AND) signals feed a
+// log2(width)-level prefix network computing group generate/propagate
+// with the standard combine G' = G_hi OR (P_hi AND G_lo),
+// P' = P_hi AND P_lo; sum_i = p_i XOR carry_{i-1}.
+func KoggeStone(width int) *Circuit {
+	if width < 1 {
+		panic("circuit: KoggeStone width must be >= 1")
+	}
+	b := NewBuilder(fmt.Sprintf("koggestone-%d", width))
+	a := make([]NodeID, width)
+	bb := make([]NodeID, width)
+	for i := 0; i < width; i++ {
+		a[i] = b.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < width; i++ {
+		bb[i] = b.Input(fmt.Sprintf("b%d", i))
+	}
+
+	p := make([]NodeID, width) // bit propagate
+	g := make([]NodeID, width) // bit generate
+	for i := 0; i < width; i++ {
+		p[i] = b.Xor(a[i], bb[i])
+		g[i] = b.And(a[i], bb[i])
+	}
+
+	// Prefix network. G[i], P[i] cover bits [i-span+1 .. i].
+	G := make([]NodeID, width)
+	P := make([]NodeID, width)
+	copy(G, g)
+	copy(P, p)
+	for d := 1; d < width; d <<= 1 {
+		nextG := make([]NodeID, width)
+		nextP := make([]NodeID, width)
+		copy(nextG, G)
+		copy(nextP, P)
+		for i := d; i < width; i++ {
+			t := b.And(P[i], G[i-d])
+			nextG[i] = b.Or(G[i], t)
+			nextP[i] = b.And(P[i], P[i-d])
+		}
+		G, P = nextG, nextP
+	}
+
+	// Sum bits: s0 = p0; si = pi XOR c_{i-1} where c_i = G[i].
+	b.Output("s0", p[0])
+	for i := 1; i < width; i++ {
+		b.Output(fmt.Sprintf("s%d", i), b.Xor(p[i], G[i-1]))
+	}
+	b.Output("cout", G[width-1])
+	return b.MustBuild()
+}
+
+// KoggeStoneAssign maps operand values onto the adder's input names.
+func KoggeStoneAssign(width int, a, b uint64) map[string]Value {
+	m := make(map[string]Value, 2*width)
+	for i := 0; i < width; i++ {
+		m[fmt.Sprintf("a%d", i)] = Value((a >> uint(i)) & 1)
+		m[fmt.Sprintf("b%d", i)] = Value((b >> uint(i)) & 1)
+	}
+	return m
+}
+
+// KoggeStoneSum decodes the adder's settled output values into the
+// (width+1)-bit sum.
+func KoggeStoneSum(width int, outs map[string]Value) uint64 {
+	var sum uint64
+	for i := 0; i < width; i++ {
+		sum |= uint64(outs[fmt.Sprintf("s%d", i)]) << uint(i)
+	}
+	sum |= uint64(outs["cout"]) << uint(width)
+	return sum
+}

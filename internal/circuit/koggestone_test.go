@@ -1,0 +1,118 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKoggeStoneExhaustiveSmall(t *testing.T) {
+	for width := 1; width <= 4; width++ {
+		c := KoggeStone(width)
+		limit := uint64(1) << uint(width)
+		for a := uint64(0); a < limit; a++ {
+			for b := uint64(0); b < limit; b++ {
+				out := Evaluate(c, KoggeStoneAssign(width, a, b))
+				if got := KoggeStoneSum(width, out); got != a+b {
+					t.Fatalf("width %d: %d+%d = %d, want %d", width, a, b, got, a+b)
+				}
+			}
+		}
+	}
+}
+
+func TestKoggeStone64Random(t *testing.T) {
+	c := KoggeStone(64)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		a, b := rng.Uint64(), rng.Uint64()
+		out := Evaluate(c, KoggeStoneAssign(64, a, b))
+		// At width 64 the carry bit would overflow KoggeStoneSum's
+		// uint64, so compare the 65 output bits directly.
+		sum := a + b
+		carry := uint64(0)
+		if sum < a {
+			carry = 1
+		}
+		lowOK := true
+		for bit := 0; bit < 64; bit++ {
+			want := Value((sum >> uint(bit)) & 1)
+			if out[sName(bit)] != want {
+				lowOK = false
+				break
+			}
+		}
+		if !lowOK || uint64(out["cout"]) != carry {
+			t.Fatalf("64-bit add %d+%d wrong (cout=%d want %d)", a, b, out["cout"], carry)
+		}
+	}
+}
+
+func sName(i int) string {
+	return "s" + itoa(i)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
+
+// TestKoggeStoneProperty16 checks a 16-bit adder against uint arithmetic
+// with testing/quick-generated operands.
+func TestKoggeStoneProperty16(t *testing.T) {
+	c := KoggeStone(16)
+	f := func(a, b uint16) bool {
+		out := Evaluate(c, KoggeStoneAssign(16, uint64(a), uint64(b)))
+		return KoggeStoneSum(16, out) == uint64(a)+uint64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKoggeStoneProfileMatchesPaperScale(t *testing.T) {
+	// The paper's Table 1 reports 1306 nodes / 2289 edges for KS-64 and
+	// 2973 / 5303 for KS-128. Our generator should land in the same
+	// ballpark (same circuit family; minor structural differences).
+	ks64 := KoggeStone(64).Profile()
+	if ks64.Nodes < 900 || ks64.Nodes > 1800 {
+		t.Errorf("KS-64 nodes = %d, expected ~1306 (paper)", ks64.Nodes)
+	}
+	if ks64.Inputs != 128 || ks64.Outputs != 65 {
+		t.Errorf("KS-64 terminals: in=%d out=%d", ks64.Inputs, ks64.Outputs)
+	}
+	ks128 := KoggeStone(128).Profile()
+	if ks128.Nodes < 2000 || ks128.Nodes > 4200 {
+		t.Errorf("KS-128 nodes = %d, expected ~2973 (paper)", ks128.Nodes)
+	}
+	if ks128.Inputs != 256 || ks128.Outputs != 129 {
+		t.Errorf("KS-128 terminals: in=%d out=%d", ks128.Inputs, ks128.Outputs)
+	}
+}
+
+func TestKoggeStoneDepthLogarithmic(t *testing.T) {
+	// A Kogge-Stone adder's depth grows with log2(width), not width.
+	d64 := KoggeStone(64).Depth()
+	d128 := KoggeStone(128).Depth()
+	if d128-d64 > 6 {
+		t.Errorf("depth jump 64->128 = %d, expected ~1 prefix level (+ constants)", d128-d64)
+	}
+	if d64 < 6 || d64 > 24 {
+		t.Errorf("KS-64 depth = %d, implausible for a prefix adder", d64)
+	}
+}
+
+func BenchmarkKoggeStoneBuild64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		KoggeStone(64)
+	}
+}

@@ -1,0 +1,85 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTreeMultiplierExhaustiveSmall(t *testing.T) {
+	for bits := 1; bits <= 4; bits++ {
+		c := TreeMultiplier(bits)
+		limit := uint64(1) << uint(bits)
+		for a := uint64(0); a < limit; a++ {
+			for b := uint64(0); b < limit; b++ {
+				out := Evaluate(c, TreeMultiplierAssign(bits, a, b))
+				if got := TreeMultiplierProduct(bits, out); got != a*b {
+					t.Fatalf("bits %d: %d*%d = %d, want %d", bits, a, b, got, a*b)
+				}
+			}
+		}
+	}
+}
+
+func TestTreeMultiplier12Random(t *testing.T) {
+	c := TreeMultiplier(12)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		a := rng.Uint64() & 0xFFF
+		b := rng.Uint64() & 0xFFF
+		out := Evaluate(c, TreeMultiplierAssign(12, a, b))
+		if got := TreeMultiplierProduct(12, out); got != a*b {
+			t.Fatalf("%d*%d = %d, want %d", a, b, got, a*b)
+		}
+	}
+}
+
+// TestTreeMultiplierProperty8 cross-checks an 8-bit multiplier against
+// integer arithmetic with generated operands.
+func TestTreeMultiplierProperty8(t *testing.T) {
+	c := TreeMultiplier(8)
+	f := func(a, b uint8) bool {
+		out := Evaluate(c, TreeMultiplierAssign(8, uint64(a), uint64(b)))
+		return TreeMultiplierProduct(8, out) == uint64(a)*uint64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTreeMultiplierProfile(t *testing.T) {
+	p := TreeMultiplier(12).Profile()
+	if p.Inputs != 24 || p.Outputs != 24 {
+		t.Errorf("terminals: in=%d out=%d, want 24/24", p.Inputs, p.Outputs)
+	}
+	// The paper's 12-bit tree multiplier has 2731 nodes; our Wallace
+	// construction is leaner but must be the same order of magnitude.
+	if p.Nodes < 400 || p.Nodes > 4000 {
+		t.Errorf("nodes = %d, out of plausible range", p.Nodes)
+	}
+	if p.Edges <= p.Nodes {
+		t.Errorf("edges = %d, nodes = %d: 2-input gates should dominate", p.Edges, p.Nodes)
+	}
+}
+
+func TestTreeMultiplierFanoutBulge(t *testing.T) {
+	// The reduction tree should contain nodes with fanout > 2 (operand
+	// bits feed many partial products) — the source of the parallelism
+	// bulge in the paper's Figure 1.
+	c := TreeMultiplier(6)
+	maxFanout := 0
+	for i := range c.Nodes {
+		if f := len(c.Nodes[i].Fanout); f > maxFanout {
+			maxFanout = f
+		}
+	}
+	if maxFanout < 6 {
+		t.Errorf("max fanout = %d, expected >= bits (operand bits drive a row/column of partial products)", maxFanout)
+	}
+}
+
+func BenchmarkTreeMultiplierBuild12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		TreeMultiplier(12)
+	}
+}

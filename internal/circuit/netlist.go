@@ -1,0 +1,183 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Netlist text format
+//
+// A circuit serializes to a line-oriented format that round-trips through
+// ParseNetlist. Node references are dense integer IDs in file order.
+//
+//	circuit <name>
+//	input <id> <name>
+//	gate <id> <KIND> <src> [<src2>]
+//	output <id> <name> <src>
+//
+// Comments start with '#'; blank lines are ignored. IDs must be declared
+// before use and must be exactly 0,1,2,... in order (which Serialize
+// guarantees).
+
+// Serialize writes c in netlist format.
+func Serialize(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "circuit %s\n", c.Name)
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		switch n.Kind {
+		case Input:
+			fmt.Fprintf(bw, "input %d %s\n", n.ID, n.Name)
+		case Output:
+			fmt.Fprintf(bw, "output %d %s %d\n", n.ID, n.Name, n.Fanin[0])
+		default:
+			if n.NumIn() == 1 {
+				fmt.Fprintf(bw, "gate %d %s %d\n", n.ID, n.Kind, n.Fanin[0])
+			} else {
+				fmt.Fprintf(bw, "gate %d %s %d %d\n", n.ID, n.Kind, n.Fanin[0], n.Fanin[1])
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseNetlist reads a circuit in netlist format.
+func ParseNetlist(r io.Reader) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var b *Builder
+	lineNo := 0
+	parseID := func(tok string, want NodeID) (NodeID, error) {
+		v, err := strconv.Atoi(tok)
+		if err != nil {
+			return 0, fmt.Errorf("line %d: bad node id %q", lineNo, tok)
+		}
+		if want >= 0 && NodeID(v) != want {
+			return 0, fmt.Errorf("line %d: node id %d out of order (want %d)", lineNo, v, want)
+		}
+		return NodeID(v), nil
+	}
+	parseRef := func(tok string, limit int) (NodeID, error) {
+		v, err := strconv.Atoi(tok)
+		if err != nil || v < 0 || v >= limit {
+			return 0, fmt.Errorf("line %d: bad node reference %q", lineNo, tok)
+		}
+		return NodeID(v), nil
+	}
+	next := NodeID(0)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		switch f[0] {
+		case "circuit":
+			if b != nil {
+				return nil, fmt.Errorf("line %d: duplicate circuit header", lineNo)
+			}
+			if len(f) != 2 {
+				return nil, fmt.Errorf("line %d: circuit header needs a name", lineNo)
+			}
+			b = NewBuilder(f[1])
+			continue
+		}
+		if b == nil {
+			return nil, fmt.Errorf("line %d: missing circuit header", lineNo)
+		}
+		switch f[0] {
+		case "input":
+			if len(f) != 3 {
+				return nil, fmt.Errorf("line %d: input needs <id> <name>", lineNo)
+			}
+			if _, err := parseID(f[1], next); err != nil {
+				return nil, err
+			}
+			b.Input(f[2])
+			next++
+		case "output":
+			if len(f) != 4 {
+				return nil, fmt.Errorf("line %d: output needs <id> <name> <src>", lineNo)
+			}
+			if _, err := parseID(f[1], next); err != nil {
+				return nil, err
+			}
+			src, err := parseRef(f[3], int(next))
+			if err != nil {
+				return nil, err
+			}
+			b.Output(f[2], src)
+			next++
+		case "gate":
+			if len(f) != 4 && len(f) != 5 {
+				return nil, fmt.Errorf("line %d: gate needs <id> <KIND> <src> [<src2>]", lineNo)
+			}
+			if _, err := parseID(f[1], next); err != nil {
+				return nil, err
+			}
+			kind, ok := KindFromName(f[2])
+			if !ok || !kind.IsGate() {
+				return nil, fmt.Errorf("line %d: unknown gate kind %q", lineNo, f[2])
+			}
+			if kind.Arity() != len(f)-3 {
+				return nil, fmt.Errorf("line %d: %s needs %d sources, got %d", lineNo, kind, kind.Arity(), len(f)-3)
+			}
+			a, err := parseRef(f[3], int(next))
+			if err != nil {
+				return nil, err
+			}
+			if kind.Arity() == 1 {
+				b.Gate1(kind, a)
+			} else {
+				c, err := parseRef(f[4], int(next))
+				if err != nil {
+					return nil, err
+				}
+				b.Gate2(kind, a, c)
+			}
+			next++
+		default:
+			return nil, fmt.Errorf("line %d: unknown directive %q", lineNo, f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("empty netlist")
+	}
+	return b.Build()
+}
+
+// InputNames returns the circuit's input terminal names in declaration
+// order.
+func (c *Circuit) InputNames() []string {
+	names := make([]string, len(c.Inputs))
+	for i, id := range c.Inputs {
+		names[i] = c.Nodes[id].Name
+	}
+	return names
+}
+
+// OutputNames returns the circuit's output terminal names in declaration
+// order.
+func (c *Circuit) OutputNames() []string {
+	names := make([]string, len(c.Outputs))
+	for i, id := range c.Outputs {
+		names[i] = c.Nodes[id].Name
+	}
+	return names
+}
+
+// SortedOutputNames returns output names sorted lexicographically, for
+// stable test output.
+func (c *Circuit) SortedOutputNames() []string {
+	names := c.OutputNames()
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,155 @@
+package circuit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, c *Circuit) *Circuit {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Serialize(&buf, c); err != nil {
+		t.Fatalf("Serialize: %v", err)
+	}
+	parsed, err := ParseNetlist(&buf)
+	if err != nil {
+		t.Fatalf("ParseNetlist: %v", err)
+	}
+	return parsed
+}
+
+func TestNetlistRoundTrip(t *testing.T) {
+	for _, c := range []*Circuit{
+		FullAdder(),
+		Mux2(),
+		ParityChain(9),
+		KoggeStone(8),
+		TreeMultiplier(4),
+		RandomDAG(RandomConfig{Inputs: 5, Gates: 50, Outputs: 3, Seed: 7}),
+	} {
+		p := roundTrip(t, c)
+		if p.Name != c.Name || p.NumNodes() != c.NumNodes() || p.NumEdges() != c.NumEdges() ||
+			p.Depth() != c.Depth() || len(p.Inputs) != len(c.Inputs) || len(p.Outputs) != len(c.Outputs) {
+			t.Fatalf("%s: round trip changed shape: %v vs %v", c.Name, p, c)
+		}
+		// Serialization of the parse must be byte-identical (canonical form).
+		var b1, b2 bytes.Buffer
+		if err := Serialize(&b1, c); err != nil {
+			t.Fatal(err)
+		}
+		if err := Serialize(&b2, p); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatalf("%s: serialization not canonical", c.Name)
+		}
+	}
+}
+
+func TestNetlistRoundTripPreservesFunction(t *testing.T) {
+	c := KoggeStone(6)
+	p := roundTrip(t, c)
+	for a := uint64(0); a < 64; a += 7 {
+		for b := uint64(0); b < 64; b += 5 {
+			want := Evaluate(c, KoggeStoneAssign(6, a, b))
+			got := Evaluate(p, KoggeStoneAssign(6, a, b))
+			if KoggeStoneSum(6, got) != KoggeStoneSum(6, want) {
+				t.Fatalf("function changed for %d+%d", a, b)
+			}
+		}
+	}
+}
+
+func TestParseNetlistComments(t *testing.T) {
+	src := `# a comment
+circuit tiny
+
+input 0 x
+# another comment
+gate 1 NOT 0
+output 2 y 1
+`
+	c, err := ParseNetlist(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ParseNetlist: %v", err)
+	}
+	if c.NumNodes() != 3 || c.Name != "tiny" {
+		t.Fatalf("parsed %v", c)
+	}
+	out := Evaluate(c, map[string]Value{"x": 0})
+	if out["y"] != 1 {
+		t.Fatalf("y = %d, want 1", out["y"])
+	}
+}
+
+func TestParseNetlistErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"empty", "", "empty netlist"},
+		{"no header", "input 0 x\n", "missing circuit header"},
+		{"dup header", "circuit a\ncircuit b\n", "duplicate circuit header"},
+		{"bad directive", "circuit a\nfrob 0\n", "unknown directive"},
+		{"bad kind", "circuit a\ninput 0 x\ngate 1 FROB 0\n", "unknown gate kind"},
+		{"id out of order", "circuit a\ninput 5 x\n", "out of order"},
+		{"forward ref", "circuit a\ninput 0 x\ngate 1 NOT 9\n", "bad node reference"},
+		{"arity mismatch", "circuit a\ninput 0 x\ngate 1 AND 0\n", "needs 2 sources"},
+		{"input fields", "circuit a\ninput 0\n", "input needs"},
+		{"output fields", "circuit a\ninput 0 x\noutput 1 y\n", "output needs"},
+		{"header fields", "circuit\n", "needs a name"},
+	}
+	for _, tc := range cases {
+		_, err := ParseNetlist(strings.NewReader(tc.src))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want contains %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestInputOutputNames(t *testing.T) {
+	c := FullAdder()
+	in := c.InputNames()
+	if len(in) != 3 || in[0] != "a" || in[1] != "b" || in[2] != "cin" {
+		t.Fatalf("InputNames = %v", in)
+	}
+	out := c.OutputNames()
+	if len(out) != 2 || out[0] != "sum" || out[1] != "cout" {
+		t.Fatalf("OutputNames = %v", out)
+	}
+	sorted := c.SortedOutputNames()
+	if sorted[0] != "cout" || sorted[1] != "sum" {
+		t.Fatalf("SortedOutputNames = %v", sorted)
+	}
+}
+
+func TestRandomDAGDeterministic(t *testing.T) {
+	cfg := RandomConfig{Inputs: 6, Gates: 100, Outputs: 4, Seed: 123}
+	var b1, b2 bytes.Buffer
+	if err := Serialize(&b1, RandomDAG(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Serialize(&b2, RandomDAG(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("same seed produced different circuits")
+	}
+	cfg.Seed = 124
+	var b3 bytes.Buffer
+	if err := Serialize(&b3, RandomDAG(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(b1.Bytes(), b3.Bytes()) {
+		t.Fatal("different seeds produced identical circuits")
+	}
+}
+
+func TestRandomDAGDefaults(t *testing.T) {
+	c := RandomDAG(RandomConfig{Gates: 10, Seed: 1})
+	if len(c.Inputs) < 1 || len(c.Outputs) < 1 {
+		t.Fatalf("defaults not applied: %v", c)
+	}
+}

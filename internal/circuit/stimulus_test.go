@@ -1,0 +1,92 @@
+package circuit
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestVectorWavesShape(t *testing.T) {
+	c := FullAdder()
+	s := VectorWaves(c, []map[string]Value{
+		{"a": 1, "b": 0, "cin": 1},
+		{"a": 1, "b": 1}, // cin omitted -> Low
+	}, 100)
+	if err := s.Validate(c); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Every input gets one event per wave.
+	if s.NumEvents() != 3*2 {
+		t.Fatalf("NumEvents = %d, want 6", s.NumEvents())
+	}
+	// Input order in the circuit is a, b, cin.
+	want := [][]Transition{
+		{{0, 1}, {100, 1}},
+		{{0, 0}, {100, 1}},
+		{{0, 1}, {100, 0}},
+	}
+	if !reflect.DeepEqual(s.ByInput, want) {
+		t.Fatalf("ByInput = %v, want %v", s.ByInput, want)
+	}
+}
+
+func TestStimulusSet(t *testing.T) {
+	c := FullAdder()
+	s := NewStimulus(c)
+	if err := s.Set(c, "a", 5, High); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if err := s.Set(c, "nope", 5, High); err == nil {
+		t.Fatal("Set accepted unknown input")
+	}
+	if err := s.Set(c, "sum", 5, High); err == nil {
+		t.Fatal("Set accepted an output terminal")
+	}
+	if s.NumEvents() != 1 {
+		t.Fatalf("NumEvents = %d", s.NumEvents())
+	}
+}
+
+func TestStimulusValidate(t *testing.T) {
+	c := FullAdder()
+	s := NewStimulus(c)
+	s.ByInput[0] = []Transition{{10, 1}, {5, 0}} // out of order
+	if err := s.Validate(c); err == nil {
+		t.Fatal("Validate accepted out-of-order transitions")
+	}
+	bad := &Stimulus{ByInput: make([][]Transition, 1)}
+	if err := bad.Validate(c); err == nil {
+		t.Fatal("Validate accepted wrong wave count")
+	}
+}
+
+func TestRandomStimulusDeterministic(t *testing.T) {
+	c := KoggeStone(8)
+	s1 := RandomStimulus(c, 10, 50, 7)
+	s2 := RandomStimulus(c, 10, 50, 7)
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("same seed produced different stimuli")
+	}
+	s3 := RandomStimulus(c, 10, 50, 8)
+	if reflect.DeepEqual(s1, s3) {
+		t.Fatal("different seeds produced identical stimuli")
+	}
+	if s1.NumEvents() != 16*10 {
+		t.Fatalf("NumEvents = %d, want 160", s1.NumEvents())
+	}
+	if err := s1.Validate(c); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestSingleWave(t *testing.T) {
+	c := Mux2()
+	s := SingleWave(c, map[string]Value{"d0": 1, "sel": 0})
+	if s.NumEvents() != 3 {
+		t.Fatalf("NumEvents = %d, want 3", s.NumEvents())
+	}
+	for i, ts := range s.ByInput {
+		if len(ts) != 1 || ts[0].Time != 0 {
+			t.Fatalf("input %d transitions = %v", i, ts)
+		}
+	}
+}

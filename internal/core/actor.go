@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"hjdes/internal/circuit"
+)
+
+// actorEngine is the message-passing engine the paper names as future
+// work ("the use of HJlib actor model for parallelizing DES"): every
+// gate/output node is an actor with a mailbox, implemented here as one
+// goroutine per node connected by buffered channels. Chandy–Misra NULL
+// messages terminate each actor; the DAG property guarantees blocking
+// sends cannot deadlock (messages only flow downstream).
+type actorEngine struct {
+	opts Options
+}
+
+// NewActor returns the actor-model engine.
+func NewActor(opts Options) Engine { return &actorEngine{opts: opts} }
+
+func (e *actorEngine) Name() string { return "actor" }
+
+// actorMsg is one mailbox message: a signal event or a NULL for a port.
+type actorMsg struct {
+	ev   Event
+	port int32
+	null bool
+}
+
+// actorMailboxCap bounds each node's mailbox. Small enough to keep
+// memory flat at paper-scale event counts, large enough to keep
+// upstream actors from blocking on every send.
+const actorMailboxCap = 512
+
+func (e *actorEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
+	start := time.Now()
+	s, err := newSimState(c, stim, e.opts)
+	if err != nil {
+		return nil, err
+	}
+	record := !e.opts.DiscardOutputs
+
+	boxes := make([]chan actorMsg, len(s.nodes))
+	for i := range s.nodes {
+		if s.nodes[i].numIn > 0 {
+			boxes[i] = make(chan actorMsg, actorMailboxCap)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := range s.nodes {
+		ns := &s.nodes[i]
+		if ns.kind == circuit.Input {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.runActor(s, ns, boxes, record)
+		}()
+	}
+
+	// Input nodes flood from the driver goroutine: all their local
+	// events are ready (no input ports), then the NULL.
+	for _, id := range c.Inputs {
+		ns := &s.nodes[id]
+		for _, ev := range ns.inputOutgoing() {
+			for _, d := range ns.fanout {
+				boxes[d.node] <- actorMsg{ev: ev, port: d.port}
+			}
+		}
+		for _, d := range ns.fanout {
+			boxes[d.node] <- actorMsg{port: d.port, null: true}
+		}
+		ns.nullSent = true
+	}
+	wg.Wait()
+
+	if bad := s.checkAllNullSent(); bad >= 0 {
+		return nil, fmt.Errorf("core: actor simulation ended with node %d not terminated", bad)
+	}
+	workers := e.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Result{
+		Engine:      "actor",
+		Workers:     workers,
+		TotalEvents: s.totalEvents(),
+		NodeEvents:  s.nodeEvents(),
+		Elapsed:     time.Since(start),
+		Outputs:     s.outputs(),
+	}, nil
+}
+
+// runActor is one node's message loop: absorb mailbox messages, process
+// whatever became ready, and exit after propagating the NULL.
+func (e *actorEngine) runActor(s *simState, ns *nodeState, boxes []chan actorMsg, record bool) {
+	box := boxes[ns.id]
+	var buf []portEvent
+	for !ns.nullSent {
+		// Block for one message, then drain whatever else is queued so
+		// ready events are processed in batches.
+		msg := <-box
+		for {
+			if msg.null {
+				ns.receiveNull(msg.port)
+			} else {
+				ns.receive(msg.port, msg.ev)
+			}
+			select {
+			case msg = <-box:
+				continue
+			default:
+			}
+			break
+		}
+		buf = ns.collectReady(buf[:0])
+		for _, pe := range buf {
+			if out, ok := ns.processOne(pe, record); ok {
+				for _, d := range ns.fanout {
+					boxes[d.node] <- actorMsg{ev: out, port: d.port}
+				}
+			}
+		}
+		if ns.drained() {
+			for _, d := range ns.fanout {
+				boxes[d.node] <- actorMsg{port: d.port, null: true}
+			}
+			ns.nullSent = true
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hjdes/internal/circuit"
+	"hjdes/internal/galois"
+)
+
+// galoisEngine is Algorithm 3: the simulation expressed as a Galois
+// unordered-set optimistic iterator over active nodes. Matching the
+// Galois-Java version the paper benchmarks against, it uses one priority
+// queue per node for event storage and per-node conflict objects, and it
+// cannot apply the paper's cautious lock-checking or temp-queue
+// optimizations: the body simply touches its neighborhood through
+// Iteration.Acquire and lets the runtime detect conflicts and retry.
+//
+// The fine-grained variant (NewGaloisFine) acquires per-input-port
+// conflict objects instead — the optimistic-side analog of the paper's
+// Section 4.5.1 lock-granularity optimization. Because an activity then
+// owns only the ports it touches, it cannot safely inspect a neighbor's
+// activity, so it pushes all downstream neighbors it delivered to
+// unconditionally (spurious activities are no-ops).
+type galoisEngine struct {
+	opts Options
+	fine bool
+}
+
+// NewGalois returns the Galois-baseline engine.
+func NewGalois(opts Options) Engine {
+	opts.PerNodePQ = true // the Galois-Java version's data structure
+	return &galoisEngine{opts: opts}
+}
+
+// NewGaloisFine returns the per-port-granularity Galois variant. It
+// pairs the finer conflict objects with per-port deque storage: a shared
+// per-node priority queue would be written concurrently by activities
+// owning different ports of the same node, so the data-structure choice
+// and the conflict granularity go together (the same coupling as in the
+// paper's Section 4.5.1).
+func NewGaloisFine(opts Options) Engine {
+	opts.PerNodePQ = false
+	return &galoisEngine{opts: opts, fine: true}
+}
+
+func (e *galoisEngine) Name() string {
+	if e.fine {
+		return "galois-fine"
+	}
+	return "galois"
+}
+
+func (e *galoisEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
+	start := time.Now()
+	s, err := newSimState(c, stim, e.opts)
+	if err != nil {
+		return nil, err
+	}
+	record := !e.opts.DiscardOutputs
+	rt := galois.New(e.opts.workers())
+	before := rt.Stats()
+
+	initial := make([]int32, len(c.Inputs))
+	for i, id := range c.Inputs {
+		initial[i] = int32(id)
+	}
+
+	body := func(it *galois.Iteration[int32], n int32) {
+		ns := &s.nodes[n]
+		// Acquire the activity's whole neighborhood. The runtime aborts
+		// and retries on conflict; since all acquisitions precede all
+		// mutations, no undo entries are needed (the operator is
+		// structurally cautious even though the user code cannot check
+		// ownership — the Galois runtime enforces it).
+		it.Acquire(&ns.obj)
+		for _, d := range ns.fanout {
+			it.Acquire(&s.nodes[d.node].obj)
+		}
+		s.simulate(ns, nil, record)
+		// foreach m in n ∪ neighbors: if isActive(m): WS ∪= m. Safe to
+		// inspect neighbors here: the activity owns them.
+		if ns.needsRun() {
+			it.Push(n)
+		}
+		for _, d := range ns.fanout {
+			if s.nodes[d.node].needsRun() {
+				it.Push(d.node)
+			}
+		}
+	}
+	if e.fine {
+		body = func(it *galois.Iteration[int32], n int32) {
+			ns := &s.nodes[n]
+			// Per-port granularity: own every input port (to drain
+			// ready events) and every fanout destination port (to
+			// deliver), mirroring the HJ engine's per-port lock set.
+			hadWork := !ns.nullSent
+			for p := range ns.ports {
+				it.Acquire(&ns.ports[p].obj)
+			}
+			for _, d := range ns.fanout {
+				it.Acquire(&s.nodes[d.node].ports[d.port].obj)
+			}
+			if !hadWork && !ns.needsRun() {
+				return // spurious activity
+			}
+			delivered := ns.needsRun()
+			s.simulate(ns, nil, record)
+			if delivered {
+				// Owning only single ports of the neighbors, activity
+				// checks on them would race; push them unconditionally.
+				for _, d := range ns.fanout {
+					it.Push(d.node)
+				}
+			}
+		}
+	}
+	galois.ForEach(rt, initial, body)
+
+	if bad := s.checkAllNullSent(); bad >= 0 {
+		return nil, fmt.Errorf("core: galois simulation ended with node %d not terminated", bad)
+	}
+	return &Result{
+		Engine:      e.Name(),
+		Workers:     rt.NumWorkers(),
+		TotalEvents: s.totalEvents(),
+		NodeEvents:  s.nodeEvents(),
+		Elapsed:     time.Since(start),
+		Outputs:     s.outputs(),
+		Galois:      statsDelta(rt.Stats(), before),
+	}, nil
+}
+
+func statsDelta(now, before galois.StatsSnapshot) galois.StatsSnapshot {
+	return galois.StatsSnapshot{
+		Committed: now.Committed - before.Committed,
+		Aborted:   now.Aborted - before.Aborted,
+		Pushed:    now.Pushed - before.Pushed,
+	}
+}

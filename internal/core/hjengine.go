@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hjdes/internal/circuit"
+	"hjdes/internal/hj"
+)
+
+// hjEngine is Algorithm 2: parallel simulation on the hj work-stealing
+// runtime with the paper's TryLock/ReleaseAllLocks extension and the
+// Section 4.5 optimizations (per-port deques and locks, temporary ready
+// queue with early release of the node's own locks, lightweight
+// AtomicBoolean locks, and avoidance of unnecessary async statements).
+//
+// Scheduling deviation from the paper, documented in DESIGN.md: the
+// paper skips respawning a node both when it fails to lock itself and
+// when a to-be-spawned neighbor is locked by others, relying on the
+// holder to respawn it. Checking a neighbor's activity safely requires
+// owning all of its ports, which the per-port protocol does not provide;
+// instead each node carries a "scheduled" flag (test-and-set) that
+// deduplicates tasks — achieving 4.5.3's goal (no redundant tasks in the
+// deques) with a guarantee of no lost wakeups — and a task that loses a
+// lock race conservatively reschedules itself.
+type hjEngine struct {
+	opts Options
+	name string
+}
+
+// NewHJ returns the paper's parallel engine. The zero Options value gives
+// the fully optimized configuration; see Options for the ablations.
+func NewHJ(opts Options) Engine {
+	name := "hj"
+	switch {
+	case opts.GlobalIsolated:
+		name += "-isolated"
+	case opts.PerNodeLocks:
+		name += "-nodelocks"
+	}
+	if opts.PerNodePQ {
+		name += "-pq"
+	}
+	if opts.NoTempQueue {
+		name += "-notemp"
+	}
+	if opts.NaiveRespawn {
+		name += "-naive"
+	}
+	if opts.MutexLocks {
+		name += "-mutex"
+	}
+	// A single per-node event queue cannot be guarded by per-port locks:
+	// two upstream tasks owning different destination ports would push
+	// into the same heap concurrently. The data structure dictates the
+	// lock granularity (the same coupling the paper's Section 4.5.1
+	// optimization exploits in the other direction), so PerNodePQ
+	// implies per-node locks.
+	if opts.PerNodePQ && !opts.GlobalIsolated {
+		opts.PerNodeLocks = true
+	}
+	return &hjEngine{opts: opts, name: name}
+}
+
+func (e *hjEngine) Name() string { return e.name }
+
+// hjNodePlan is the precomputed per-node locking plan: the node's lock
+// set in ascending lock-ID order (the paper's livelock-avoidance order),
+// with the node's own locks identified for the early-release step, plus
+// the deduplicated list of downstream nodes to wake after a run.
+type hjNodePlan struct {
+	locks    []*hj.Lock
+	own      []bool // parallel to locks: true for the node's own locks
+	wakeList []int32
+}
+
+type hjRun struct {
+	s      *simState
+	eng    *hjEngine
+	plans  []hjNodePlan
+	record bool
+	// bufs are per-worker ready-event buffers, indexed by WorkerID.
+	bufs [][]portEvent
+}
+
+func (e *hjEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
+	start := time.Now()
+	s, err := newSimState(c, stim, e.opts)
+	if err != nil {
+		return nil, err
+	}
+	if !e.opts.GlobalIsolated {
+		s.initLocks(e.opts.PerNodeLocks, e.opts.MutexLocks)
+	}
+	r := &hjRun{s: s, eng: e, record: !e.opts.DiscardOutputs}
+	r.buildPlans()
+
+	rt := hj.NewRuntime(hj.Config{Workers: e.opts.workers()})
+	defer rt.Shutdown()
+	r.bufs = make([][]portEvent, rt.NumWorkers())
+	before := rt.Stats()
+
+	// Preallocate the per-node RunNode closure so respawns do not
+	// allocate, then launch one task per input node (Algorithm 2, RUN()).
+	for i := range s.nodes {
+		ns := &s.nodes[i]
+		r.bindTask(ns)
+	}
+	rt.Finish(func(ctx *hj.Ctx) {
+		for _, id := range c.Inputs {
+			r.schedule(ctx, int32(id))
+		}
+	})
+
+	if bad := s.checkAllNullSent(); bad >= 0 {
+		return nil, fmt.Errorf("core: hj simulation ended with node %d not terminated", bad)
+	}
+	return &Result{
+		Engine:      e.name,
+		Workers:     rt.NumWorkers(),
+		TotalEvents: s.totalEvents(),
+		NodeEvents:  s.nodeEvents(),
+		Elapsed:     time.Since(start),
+		Outputs:     s.outputs(),
+		HJ:          rt.Stats().Sub(before),
+	}, nil
+}
+
+// bindTask exists so the closure captures stable locals per node.
+func (r *hjRun) bindTask(ns *nodeState) {
+	ns.task = func(ctx *hj.Ctx) { r.runNode(ctx, ns) }
+}
+
+// buildPlans computes every node's ordered lock set and wake list.
+func (r *hjRun) buildPlans() {
+	s := r.s
+	r.plans = make([]hjNodePlan, len(s.nodes))
+	for i := range s.nodes {
+		ns := &s.nodes[i]
+		plan := &r.plans[i]
+		// Wake list: distinct downstream node ids.
+		seen := map[int32]bool{}
+		for _, d := range ns.fanout {
+			if !seen[d.node] {
+				seen[d.node] = true
+				plan.wakeList = append(plan.wakeList, d.node)
+			}
+		}
+		if r.eng.opts.GlobalIsolated {
+			continue
+		}
+		type entry struct {
+			l   *hj.Lock
+			own bool
+		}
+		var entries []entry
+		if r.eng.opts.PerNodeLocks {
+			entries = append(entries, entry{ns.nodeLock, true})
+			for _, m := range plan.wakeList {
+				entries = append(entries, entry{s.nodes[m].nodeLock, false})
+			}
+		} else {
+			for p := range ns.ports {
+				entries = append(entries, entry{ns.ports[p].lock, true})
+			}
+			for _, d := range ns.fanout {
+				entries = append(entries, entry{s.nodes[d.node].ports[d.port].lock, false})
+			}
+		}
+		// Ascending lock-ID acquisition order (paper Section 4.3:
+		// "acquires the locks in the ascending order of the node IDs").
+		sort.Slice(entries, func(a, b int) bool { return entries[a].l.ID() < entries[b].l.ID() })
+		plan.locks = make([]*hj.Lock, len(entries))
+		plan.own = make([]bool, len(entries))
+		for j, e := range entries {
+			plan.locks[j] = e.l
+			plan.own[j] = e.own
+		}
+	}
+}
+
+// schedule arranges for a RunNode task for node id to exist: with the
+// scheduled-flag protocol a new task is spawned only if none is pending;
+// in NaiveRespawn mode a task is always spawned.
+func (r *hjRun) schedule(ctx *hj.Ctx, id int32) {
+	ns := &r.s.nodes[id]
+	if r.eng.opts.NaiveRespawn {
+		ctx.Async(ns.task)
+		return
+	}
+	if ns.scheduled.CompareAndSwap(false, true) {
+		ctx.Async(ns.task)
+	}
+}
+
+// runNode is RUNNODE(n) from Algorithm 2, with the Section 4.5
+// optimizations applied according to the engine options.
+func (r *hjRun) runNode(ctx *hj.Ctx, ns *nodeState) {
+	if !r.eng.opts.NaiveRespawn {
+		// Clear before looking at any state: events delivered after this
+		// point trigger a fresh task; events delivered before are visible
+		// to this run once it holds the locks.
+		ns.scheduled.Store(false)
+	}
+	if r.eng.opts.GlobalIsolated {
+		var delivered bool
+		ctx.Isolated(func() { delivered = r.step(ctx, ns, nil) })
+		if delivered {
+			r.wake(ctx, ns)
+		}
+		return
+	}
+
+	plan := &r.plans[ns.id]
+	for _, l := range plan.locks {
+		if !ctx.TryLock(l) {
+			// Lost the race: back off and try n again later (Algorithm 2
+			// lines 10-14; see the type comment for why the self-lock
+			// case also respawns here).
+			ctx.ReleaseAllLocks()
+			r.schedule(ctx, ns.id)
+			return
+		}
+	}
+	delivered := r.step(ctx, ns, plan)
+	ctx.ReleaseAllLocks()
+	if delivered {
+		r.wake(ctx, ns)
+	}
+}
+
+// step performs one locked simulation run of ns and reports whether
+// anything (events or NULLs) was delivered downstream. The caller holds
+// the node's full lock set (or the global isolated section); when the
+// temp-queue optimization applies, step releases the node's own locks
+// early via ctx.Unlock.
+func (r *hjRun) step(ctx *hj.Ctx, ns *nodeState, plan *hjNodePlan) bool {
+	s := r.s
+	if ns.kind == circuit.Input {
+		if ns.nullSent {
+			return false
+		}
+		for _, ev := range ns.inputOutgoing() {
+			for _, d := range ns.fanout {
+				s.nodes[d.node].receive(d.port, ev)
+			}
+		}
+		s.sendNull(ns)
+		return true
+	}
+
+	buf := r.bufs[ctx.WorkerID()][:0]
+	buf = ns.collectReady(buf)
+	nullNow := !ns.nullSent && ns.drained()
+
+	// Section 4.5.1 temp queue: ready events now live in buf, so the
+	// node's own input-port locks can be released, letting upstream
+	// neighbors deliver concurrently. Only meaningful with per-port
+	// locks and when the processing phase is still protected by the
+	// fanout destination locks.
+	if plan != nil && !r.eng.opts.NoTempQueue && !r.eng.opts.PerNodeLocks && len(ns.fanout) > 0 {
+		for i, own := range plan.own {
+			if own {
+				ctx.Unlock(plan.locks[i])
+			}
+		}
+	}
+
+	for _, pe := range buf {
+		if out, ok := ns.processOne(pe, r.record); ok {
+			for _, d := range ns.fanout {
+				s.nodes[d.node].receive(d.port, out)
+			}
+		}
+	}
+	if nullNow {
+		s.sendNull(ns)
+	}
+	r.bufs[ctx.WorkerID()] = buf[:0]
+	delivered := nullNow || (len(buf) > 0 && ns.kind != circuit.Output)
+	return delivered && len(ns.fanout) > 0
+}
+
+// wake schedules a task for every distinct downstream neighbor.
+func (r *hjRun) wake(ctx *hj.Ctx, ns *nodeState) {
+	for _, m := range r.plans[ns.id].wakeList {
+		r.schedule(ctx, m)
+	}
+}

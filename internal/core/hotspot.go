@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hjdes/internal/circuit"
+)
+
+// Hotspot describes one node's share of the simulation's event
+// processing.
+type Hotspot struct {
+	ID     circuit.NodeID
+	Kind   circuit.Kind
+	Name   string // terminal name, if any
+	Events int64
+	Share  float64 // fraction of total events
+}
+
+func (h Hotspot) String() string {
+	label := h.Name
+	if label == "" {
+		label = fmt.Sprintf("%s#%d", h.Kind, h.ID)
+	}
+	return fmt.Sprintf("%-12s %10d events (%5.2f%%)", label, h.Events, 100*h.Share)
+}
+
+// TopHotspots ranks the circuit's nodes by processed-event count from a
+// run's NodeEvents and returns the k busiest (fewer if the circuit is
+// smaller). It identifies the gates whose locks are most contended —
+// useful when tuning the Section 4.5 optimizations for a new circuit.
+func TopHotspots(c *circuit.Circuit, res *Result, k int) []Hotspot {
+	if len(res.NodeEvents) != len(c.Nodes) || k <= 0 {
+		return nil
+	}
+	spots := make([]Hotspot, 0, len(c.Nodes))
+	for i := range c.Nodes {
+		if res.NodeEvents[i] == 0 {
+			continue
+		}
+		n := &c.Nodes[i]
+		share := 0.0
+		if res.TotalEvents > 0 {
+			share = float64(res.NodeEvents[i]) / float64(res.TotalEvents)
+		}
+		spots = append(spots, Hotspot{
+			ID: n.ID, Kind: n.Kind, Name: n.Name,
+			Events: res.NodeEvents[i], Share: share,
+		})
+	}
+	sort.Slice(spots, func(a, b int) bool {
+		if spots[a].Events != spots[b].Events {
+			return spots[a].Events > spots[b].Events
+		}
+		return spots[a].ID < spots[b].ID
+	})
+	if len(spots) > k {
+		spots = spots[:k]
+	}
+	return spots
+}

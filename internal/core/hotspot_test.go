@@ -1,0 +1,79 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"hjdes/internal/circuit"
+)
+
+func TestTopHotspots(t *testing.T) {
+	c := circuit.TreeMultiplier(4)
+	stim := circuit.RandomStimulus(c, 3, c.SettleTime()+10, 1)
+	res, err := NewSequential(Options{DiscardOutputs: true}).Run(c, stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NodeEvents) != c.NumNodes() {
+		t.Fatalf("NodeEvents len = %d, want %d", len(res.NodeEvents), c.NumNodes())
+	}
+	var sum int64
+	for _, n := range res.NodeEvents {
+		sum += n
+	}
+	if sum != res.TotalEvents {
+		t.Fatalf("NodeEvents sum %d != TotalEvents %d", sum, res.TotalEvents)
+	}
+
+	spots := TopHotspots(c, res, 5)
+	if len(spots) != 5 {
+		t.Fatalf("got %d hotspots", len(spots))
+	}
+	for i := 1; i < len(spots); i++ {
+		if spots[i].Events > spots[i-1].Events {
+			t.Fatalf("hotspots not sorted: %v", spots)
+		}
+	}
+	if spots[0].Share <= 0 || spots[0].Share > 1 {
+		t.Fatalf("share = %v", spots[0].Share)
+	}
+	if spots[0].String() == "" || !strings.Contains(spots[0].String(), "events") {
+		t.Fatalf("String = %q", spots[0].String())
+	}
+}
+
+func TestTopHotspotsDegenerate(t *testing.T) {
+	c := circuit.FullAdder()
+	if TopHotspots(c, &Result{}, 3) != nil {
+		t.Fatal("mismatched NodeEvents should return nil")
+	}
+	res := &Result{NodeEvents: make([]int64, c.NumNodes())}
+	if got := TopHotspots(c, res, 0); got != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	// All-zero counts: no hotspots.
+	if got := TopHotspots(c, res, 3); len(got) != 0 {
+		t.Fatalf("all-zero counts produced %v", got)
+	}
+}
+
+func TestHotspotsAgreeAcrossEngines(t *testing.T) {
+	c := circuit.KoggeStone(8)
+	stim := circuit.RandomStimulus(c, 3, c.SettleTime()+10, 2)
+	var ref []int64
+	for _, e := range testEngines(3) {
+		res, err := e.Run(c, stim)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if ref == nil {
+			ref = res.NodeEvents
+			continue
+		}
+		for i := range ref {
+			if res.NodeEvents[i] != ref[i] {
+				t.Fatalf("%s: node %d events %d, reference %d", e.Name(), i, res.NodeEvents[i], ref[i])
+			}
+		}
+	}
+}

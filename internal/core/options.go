@@ -1,0 +1,96 @@
+package core
+
+import "hjdes/internal/circuit"
+
+// Options configures an engine run. The zero value gives the paper's
+// fully optimized HJlib configuration (per-port deques + per-port locks +
+// temp ready queue + spawn avoidance) with outputs recorded; the boolean
+// fields switch individual Section 4.5 optimizations off for the ablation
+// benchmarks.
+type Options struct {
+	// Workers is the parallel engines' worker count (ignored by the
+	// sequential engines). Zero means GOMAXPROCS.
+	Workers int
+
+	// PerNodePQ replaces the per-input-port array deques of Section
+	// 4.5.1 with a single priority queue per node — the data-structure
+	// choice of the Galois-Java version. The Galois and SequentialPQ
+	// engines always run in this mode. For the parallel HJ engine it
+	// implies PerNodeLocks: a shared per-node queue cannot be guarded by
+	// per-port locks.
+	PerNodePQ bool
+
+	// PerNodeLocks replaces per-input-port locks with one lock per node,
+	// undoing the lock-granularity half of Section 4.5.1.
+	PerNodeLocks bool
+
+	// NoTempQueue disables the temporary ready-event queue of Section
+	// 4.5.1: the node keeps its own input-port locks for the whole
+	// processing run instead of releasing them after extracting ready
+	// events.
+	NoTempQueue bool
+
+	// GlobalIsolated replaces fine-grained TryLock synchronization with
+	// the coarse HJlib isolated construct (one global critical section),
+	// the natural pre-extension HJlib formulation.
+	GlobalIsolated bool
+
+	// MutexLocks backs every lock with a sync.Mutex instead of the
+	// paper's lightweight atomic-boolean CAS (Section 4.5.2's
+	// AtomicBoolean-vs-ReentrantLock comparison).
+	MutexLocks bool
+
+	// TimeWarpWindow bounds the optimistic engine's speculation: a node
+	// never runs more than this far ahead of its earliest pending event.
+	// Zero means unbounded (pure Time Warp). Ignored by other engines.
+	TimeWarpWindow int64
+
+	// Paranoid enables runtime assertion of the local causality
+	// constraint inside the conservative engines: every port must see
+	// nondecreasing event timestamps, or the run panics. Used by the
+	// tests; costs one comparison per delivered event.
+	Paranoid bool
+
+	// NaiveRespawn disables the Section 4.5.3 avoidance of unnecessary
+	// async statements: every run unconditionally respawns tasks for all
+	// downstream neighbors instead of deduplicating scheduled nodes.
+	NaiveRespawn bool
+
+	// DiscardOutputs skips recording output-terminal event histories.
+	// Benchmarks set it to keep memory flat; correctness tests leave it
+	// unset.
+	DiscardOutputs bool
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return 0 // resolved by the runtimes (GOMAXPROCS)
+	}
+	return o.Workers
+}
+
+// storageMode selects the per-node event storage (Section 4.5.1).
+type storageMode uint8
+
+const (
+	storePerPortDeque storageMode = iota // java.util.ArrayDeque analog
+	storePerNodeHeap                     // java.util.PriorityQueue analog
+)
+
+func (o Options) storage() storageMode {
+	if o.PerNodePQ {
+		return storePerNodeHeap
+	}
+	return storePerPortDeque
+}
+
+// Engine runs a logic-circuit simulation: circuit + stimulus in, Result
+// out. Implementations are stateless between runs (each Run builds fresh
+// node state), so one Engine value may be reused, but a single Engine
+// must not Run concurrently with itself.
+type Engine interface {
+	// Name identifies the engine (and its options) for reports.
+	Name() string
+	// Run simulates the circuit under the stimulus to completion.
+	Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error)
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hjdes/internal/circuit"
+	"hjdes/internal/galois"
+)
+
+// orderedEngine expresses the simulation on the Galois *ordered-set*
+// iterator — the other formulation studied by Hassaan, Burtscher and
+// Pingali ("Ordered vs. unordered", the paper's reference [12], which is
+// where its DES benchmark comes from). Work items are (node, time)
+// pairs ordered by timestamp: because the runtime commits all items of
+// one timestamp before starting the next, an activity for (n, t) may
+// safely process every event with timestamp exactly t — no local clocks
+// and no NULL messages are needed. The trade-off is a global priority
+// order enforced by the scheduler, which is precisely the
+// synchronization the Chandy–Misra engines avoid.
+type orderedEngine struct {
+	opts Options
+}
+
+// NewOrdered returns the ordered-iterator engine.
+func NewOrdered(opts Options) Engine {
+	opts.PerNodePQ = false // per-port deques; arrivals per port are sorted
+	return &orderedEngine{opts: opts}
+}
+
+func (e *orderedEngine) Name() string { return "galois-ordered" }
+
+// orderedItem schedules node's events at exactly time.
+type orderedItem struct {
+	node int32
+	time int64
+}
+
+func (e *orderedEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
+	start := time.Now()
+	s, err := newSimState(c, stim, e.opts)
+	if err != nil {
+		return nil, err
+	}
+	record := !e.opts.DiscardOutputs
+	rt := galois.New(e.opts.workers())
+	before := rt.Stats()
+
+	// Setup: flood every input terminal's events directly (the ordered
+	// formulation needs no sources inside the iteration), seeding the
+	// workset with one item per (destination, arrival time).
+	seen := map[orderedItem]bool{}
+	var initial []orderedItem
+	for _, id := range c.Inputs {
+		ns := &s.nodes[id]
+		for _, ev := range ns.inputOutgoing() {
+			for _, d := range ns.fanout {
+				s.nodes[d.node].receive(d.port, ev)
+				it := orderedItem{node: d.node, time: ev.Time}
+				if !seen[it] {
+					seen[it] = true
+					initial = append(initial, it)
+				}
+			}
+		}
+		ns.nullSent = true
+	}
+
+	galois.ForEachOrdered(rt, initial,
+		func(it orderedItem) int64 { return it.time },
+		func(it *galois.OrderedIteration[orderedItem], item orderedItem) {
+			ns := &s.nodes[item.node]
+			it.Acquire(&ns.obj)
+			for _, d := range ns.fanout {
+				it.Acquire(&s.nodes[d.node].obj)
+			}
+			// Process exactly this timestamp's events, in port order.
+			// Everything with an earlier timestamp was handled by an
+			// earlier (already committed) priority level.
+			emitted := false
+			var outTime int64
+			for p := range ns.ports {
+				for {
+					head, ok := ns.ports[p].q.Front()
+					if !ok || head.Time != item.time {
+						break
+					}
+					ev, _ := ns.ports[p].q.PopFront()
+					out, isGate := ns.processOne(portEvent{Ev: ev, Port: int32(p)}, record)
+					if isGate {
+						for _, d := range ns.fanout {
+							s.nodes[d.node].receive(d.port, out)
+						}
+						emitted = true
+						outTime = out.Time
+					}
+				}
+			}
+			if emitted {
+				// All of this batch's emissions share one timestamp
+				// (t + delay + wire), so one item per destination node
+				// schedules them.
+				for _, d := range ns.fanout {
+					it.Push(orderedItem{node: d.node, time: outTime})
+				}
+			}
+		})
+
+	// Mark gates terminated for the invariant checker: the ordered
+	// execution drains every queue by construction.
+	for i := range s.nodes {
+		ns := &s.nodes[i]
+		if ns.kind == circuit.Input {
+			continue
+		}
+		for p := range ns.ports {
+			if !ns.ports[p].q.Empty() {
+				return nil, fmt.Errorf("core: ordered run left events at node %d port %d", ns.id, p)
+			}
+			ns.ports[p].clock = TimeInfinity
+		}
+		ns.nullSent = true
+	}
+	return &Result{
+		Engine:      "galois-ordered",
+		Workers:     rt.NumWorkers(),
+		TotalEvents: s.totalEvents(),
+		NodeEvents:  s.nodeEvents(),
+		Elapsed:     time.Since(start),
+		Outputs:     s.outputs(),
+		Galois:      statsDelta(rt.Stats(), before),
+	}, nil
+}

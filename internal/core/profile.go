@@ -1,0 +1,113 @@
+package core
+
+import (
+	"hjdes/internal/circuit"
+)
+
+// ParallelismProfile measures the available parallelism of a simulation
+// the way the Galois project's study did for the paper's Figure 1: the
+// simulation executes in level-synchronous rounds, and each round runs a
+// greedy maximal set of active nodes whose lock neighborhoods (the node
+// plus its fanout) are pairwise disjoint — the nodes that a parallel
+// execution could safely run simultaneously. The returned slice holds
+// that set's size for every computation step.
+//
+// The characteristic shape for the tree multiplier — low at first (few
+// input ports), rising through the circuit's large fanouts, then falling
+// toward the small number of output ports — is the paper's explanation
+// for its limited speedups.
+func ParallelismProfile(c *circuit.Circuit, stim *circuit.Stimulus) ([]int, error) {
+	s, err := newSimState(c, stim, Options{DiscardOutputs: true})
+	if err != nil {
+		return nil, err
+	}
+	var profile []int
+	claimed := make([]bool, len(s.nodes))
+	var selected []int32
+	var buf []portEvent
+	for {
+		// Gather this round's active nodes and greedily pack a
+		// conflict-free subset (neighborhood-disjoint, in ID order).
+		selected = selected[:0]
+		for i := range claimed {
+			claimed[i] = false
+		}
+		for i := range s.nodes {
+			ns := &s.nodes[i]
+			if !ns.needsRun() {
+				continue
+			}
+			if claimed[ns.id] {
+				continue
+			}
+			free := true
+			for _, d := range ns.fanout {
+				if claimed[d.node] {
+					free = false
+					break
+				}
+			}
+			if !free {
+				continue
+			}
+			claimed[ns.id] = true
+			for _, d := range ns.fanout {
+				claimed[d.node] = true
+			}
+			selected = append(selected, ns.id)
+		}
+		if len(selected) == 0 {
+			break
+		}
+		for _, id := range selected {
+			buf = s.simulate(&s.nodes[id], buf[:0], false)
+		}
+		profile = append(profile, len(selected))
+	}
+	if bad := s.checkAllNullSent(); bad >= 0 {
+		return profile, errIncomplete(bad)
+	}
+	return profile, nil
+}
+
+type profileError int32
+
+func (e profileError) Error() string {
+	return "core: parallelism profile ended with an unterminated node"
+}
+
+func errIncomplete(id int32) error { return profileError(id) }
+
+// MaxParallelism returns the peak of a profile, or 0 for an empty one.
+func MaxParallelism(profile []int) int {
+	m := 0
+	for _, p := range profile {
+		if p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+// MeanParallelism returns the average available parallelism.
+func MeanParallelism(profile []int) float64 {
+	if len(profile) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, p := range profile {
+		sum += p
+	}
+	return float64(sum) / float64(len(profile))
+}
+
+// stimOneWave is a convenience for profiling: a single random wave.
+func stimOneWave(c *circuit.Circuit, seed int64) *circuit.Stimulus {
+	return circuit.RandomStimulus(c, 1, c.SettleTime()+1, seed)
+}
+
+// ProfileCircuit runs ParallelismProfile on a single-wave stimulus, the
+// configuration of the paper's Figure 1.
+func ProfileCircuit(c *circuit.Circuit, seed int64) ([]int, error) {
+	return ParallelismProfile(c, stimOneWave(c, seed))
+}

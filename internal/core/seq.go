@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hjdes/internal/circuit"
+	"hjdes/internal/queue"
+)
+
+// seqEngine is Algorithm 1: the sequential workset simulation. With the
+// default per-port deques it is the paper's "HJlib" sequential version;
+// with PerNodePQ it matches the Galois-Java sequential version's
+// PriorityQueue-based event storage (Table 2's two baselines).
+type seqEngine struct {
+	opts Options
+	name string
+}
+
+// NewSequential returns the Algorithm 1 engine with the paper's
+// lightweight per-port array deques.
+func NewSequential(opts Options) Engine {
+	opts.PerNodePQ = false
+	return &seqEngine{opts: opts, name: "seq"}
+}
+
+// NewSequentialPQ returns the Algorithm 1 engine with one priority queue
+// per node, reproducing the Galois-Java sequential baseline's event
+// storage.
+func NewSequentialPQ(opts Options) Engine {
+	opts.PerNodePQ = true
+	return &seqEngine{opts: opts, name: "seq-pq"}
+}
+
+func (e *seqEngine) Name() string { return e.name }
+
+func (e *seqEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
+	start := time.Now()
+	s, err := newSimState(c, stim, e.opts)
+	if err != nil {
+		return nil, err
+	}
+	record := !e.opts.DiscardOutputs
+
+	// WS <- I (the input nodes); inWS deduplicates workset membership.
+	var ws queue.Deque[int32]
+	inWS := make([]bool, len(s.nodes))
+	for _, id := range c.Inputs {
+		ws.PushBack(int32(id))
+		inWS[id] = true
+	}
+
+	var buf []portEvent
+	for {
+		// Active nodes may run in any order (Algorithm 1); LIFO order
+		// gives depth-first propagation, which keeps the population of
+		// live queued events small — the same locality the parallel
+		// engine gets from its LIFO work-stealing deques.
+		n, ok := ws.PopBack()
+		if !ok {
+			break
+		}
+		inWS[n] = false
+		ns := &s.nodes[n]
+		buf = s.simulate(ns, buf[:0], record)
+		// for m in n ∪ n.neighbors: if isActive(m) add to WS.
+		if ns.needsRun() && !inWS[n] {
+			ws.PushBack(n)
+			inWS[n] = true
+		}
+		for _, d := range ns.fanout {
+			if s.nodes[d.node].needsRun() && !inWS[d.node] {
+				ws.PushBack(d.node)
+				inWS[d.node] = true
+			}
+		}
+	}
+
+	if bad := s.checkAllNullSent(); bad >= 0 {
+		return nil, fmt.Errorf("core: simulation ended with node %d not terminated", bad)
+	}
+	return &Result{
+		Engine:      e.name,
+		Workers:     1,
+		TotalEvents: s.totalEvents(),
+		NodeEvents:  s.nodeEvents(),
+		Elapsed:     time.Since(start),
+		Outputs:     s.outputs(),
+	}, nil
+}
+
+// simulate is the SIMULATE(n) routine shared by the sequential engines:
+// process every ready event of ns, delivering generated events to the
+// fanout, then propagate the NULL message once the node drains.
+func (s *simState) simulate(ns *nodeState, buf []portEvent, record bool) []portEvent {
+	if ns.kind == circuit.Input {
+		if !ns.nullSent {
+			for _, ev := range ns.inputOutgoing() {
+				for _, d := range ns.fanout {
+					s.nodes[d.node].receive(d.port, ev)
+				}
+			}
+			s.sendNull(ns)
+		}
+		return buf
+	}
+	buf = ns.collectReady(buf)
+	for _, pe := range buf {
+		if out, ok := ns.processOne(pe, record); ok {
+			for _, d := range ns.fanout {
+				s.nodes[d.node].receive(d.port, out)
+			}
+		}
+	}
+	if !ns.nullSent && ns.drained() {
+		s.sendNull(ns)
+	}
+	return buf
+}
+
+// sendNull propagates the Chandy–Misra NULL(∞) message to every fanout
+// port and marks the node terminated.
+func (s *simState) sendNull(ns *nodeState) {
+	for _, d := range ns.fanout {
+		s.nodes[d.node].receiveNull(d.port)
+	}
+	ns.nullSent = true
+}

@@ -1,0 +1,415 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hjdes/internal/circuit"
+	"hjdes/internal/hj"
+	"hjdes/internal/queue"
+)
+
+// twEngine is an optimistic (Time Warp) engine — the other family of
+// PDES algorithms the paper's Section 2.1 surveys (Jefferson & Sowizral's
+// rollback mechanism), implemented here so the conservative/optimistic
+// trade-off can be measured on the same workloads.
+//
+// Nodes process events beyond their Chandy–Misra-safe horizon. When a
+// straggler (an event older than the node's local virtual time) or an
+// anti-message arrives, the node rolls back: it restores the saved state,
+// re-enqueues the undone events, and sends anti-messages cancelling the
+// emissions of the undone processing steps. Execution is organized in
+// BSP rounds with double-buffered per-edge channels, which makes the
+// whole simulation deterministic for every worker count; global virtual
+// time (GVT) is computed at each barrier and fossil collection archives
+// or discards history older than GVT. The optional window bounds
+// optimism to GVT+W, giving a spectrum from nearly-conservative (small
+// W) to pure Time Warp (unbounded).
+type twEngine struct {
+	opts Options
+	name string
+}
+
+// NewTimeWarp returns the optimistic engine. Options.TimeWarpWindow
+// bounds speculation (0 = unbounded).
+func NewTimeWarp(opts Options) Engine {
+	name := "timewarp"
+	if opts.TimeWarpWindow > 0 {
+		name = fmt.Sprintf("timewarp-w%d", opts.TimeWarpWindow)
+	}
+	return &twEngine{opts: opts, name: name}
+}
+
+func (e *twEngine) Name() string { return e.name }
+
+// TWStats counts optimistic-execution activity.
+type TWStats struct {
+	Rounds     int
+	Rollbacks  int64 // rollback episodes
+	Undone     int64 // processed events undone by rollbacks
+	Antis      int64 // anti-messages sent
+	Stragglers int64 // late positive events that forced a rollback
+}
+
+func (s TWStats) String() string {
+	return fmt.Sprintf("rounds=%d rollbacks=%d undone=%d antis=%d stragglers=%d",
+		s.Rounds, s.Rollbacks, s.Undone, s.Antis, s.Stragglers)
+}
+
+// twEvent is an optimistic message: a signal value or an anti-message
+// cancelling a previous one (matched by ID).
+type twEvent struct {
+	Time  int64
+	ID    int64 // unique per emission; annihilation key
+	Port  int32
+	Value circuit.Value
+	Anti  bool
+}
+
+func lessTWEvent(a, b twEvent) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	return a.ID < b.ID
+}
+
+// twSend records one emission for possible cancellation.
+type twSend struct {
+	edge int32 // index into the node's fanout
+	ev   twEvent
+}
+
+// twRecord is one processed event with its pre-state, for rollback.
+type twRecord struct {
+	ev     twEvent
+	preVal [2]circuit.Value
+	sends  []twSend
+}
+
+// twInEdge locates one incoming edge's double-buffered channel.
+type twInEdge struct {
+	src  int32 // source node
+	slot int32 // index into the source's fanout/outBuf
+}
+
+// twNode is the Time Warp state of one circuit node.
+type twNode struct {
+	id     int32
+	kind   circuit.Kind
+	delay  int64
+	fanout []dest
+	inEdge []twInEdge
+
+	inputQ    *queue.Heap[twEvent]
+	cancelled map[int64]bool // tombstones for annihilated queued events
+	log       []twRecord
+	inVal     [2]circuit.Value
+	lvt       int64
+	emitSeq   int64
+
+	// Double-buffered per-fanout-edge outboxes: bank (round%2) is
+	// written this round, the other bank is read by destinations.
+	outBuf [2][][]twEvent
+
+	// committed history (output terminals archive TimedValues; all nodes
+	// count committed events at fossil collection).
+	archived    int64
+	history     []TimedValue
+	transitions []circuit.Transition // input terminals
+	rollbacks   int64
+	undone      int64
+	antis       int64
+	stragglers  int64
+}
+
+// twRun is one engine run.
+type twRun struct {
+	nodes  []twNode
+	window int64
+	record bool
+}
+
+func (e *twEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
+	start := time.Now()
+	if err := stim.Validate(c); err != nil {
+		return nil, err
+	}
+	r := &twRun{window: e.opts.TimeWarpWindow, record: !e.opts.DiscardOutputs}
+	r.nodes = make([]twNode, len(c.Nodes))
+	for i := range c.Nodes {
+		cn := &c.Nodes[i]
+		n := &r.nodes[i]
+		n.id = int32(cn.ID)
+		n.kind = cn.Kind
+		n.delay = cn.Kind.Delay()
+		n.fanout = make([]dest, len(cn.Fanout))
+		for j, p := range cn.Fanout {
+			n.fanout[j] = dest{node: int32(p.Node), port: int32(p.In)}
+		}
+		n.outBuf[0] = make([][]twEvent, len(n.fanout))
+		n.outBuf[1] = make([][]twEvent, len(n.fanout))
+		n.inputQ = queue.NewHeap(lessTWEvent)
+		n.cancelled = map[int64]bool{}
+		n.lvt = -1
+	}
+	// Wire incoming-edge locators.
+	for i := range r.nodes {
+		src := &r.nodes[i]
+		for slot, d := range src.fanout {
+			dst := &r.nodes[d.node]
+			dst.inEdge = append(dst.inEdge, twInEdge{src: int32(i), slot: int32(slot)})
+		}
+	}
+	for i, id := range c.Inputs {
+		r.nodes[id].transitions = stim.ByInput[i]
+	}
+
+	var rt *hj.Runtime
+	if e.opts.Workers != 1 {
+		rt = hj.NewRuntime(hj.Config{Workers: e.opts.workers()})
+		defer rt.Shutdown()
+	}
+
+	// Round 0: input terminals flood their whole schedules (sources are
+	// conservative and never roll back).
+	for _, id := range c.Inputs {
+		n := &r.nodes[id]
+		for _, tr := range n.transitions {
+			ev := twEvent{Time: tr.Time + circuit.WireDelay, Value: tr.Value}
+			for slot := range n.fanout {
+				n.emit(0, slot, ev)
+			}
+		}
+	}
+
+	stats := TWStats{}
+	bank := 0 // the bank written during round 0 above
+	n := len(r.nodes)
+	for {
+		// Swap banks: this round absorbs from `bank`, writes to 1-bank.
+		read, write := bank, 1-bank
+		step := func(i int) { r.nodes[i].round(r, read, write) }
+		if rt != nil {
+			rt.Finish(func(ctx *hj.Ctx) {
+				ctx.ForAsync(n, 4, func(_ *hj.Ctx, i int) { step(i) })
+			})
+		} else {
+			for i := 0; i < n; i++ {
+				step(i)
+			}
+		}
+		stats.Rounds++
+
+		// Barrier work: clear the consumed bank, compute GVT, detect
+		// termination, fossil-collect.
+		gvt := TimeInfinity
+		busy := false
+		for i := range r.nodes {
+			nd := &r.nodes[i]
+			for slot := range nd.outBuf[read] {
+				nd.outBuf[read][slot] = nd.outBuf[read][slot][:0]
+			}
+			if top, ok := nd.inputQ.Peek(); ok && !nd.cancelled[top.ID] {
+				busy = true
+				if top.Time < gvt {
+					gvt = top.Time
+				}
+			} else if ok {
+				busy = true // tombstoned entries still need draining
+				if top.Time < gvt {
+					gvt = top.Time
+				}
+			}
+			for slot := range nd.outBuf[write] {
+				for _, ev := range nd.outBuf[write][slot] {
+					busy = true
+					if ev.Time < gvt {
+						gvt = ev.Time
+					}
+				}
+			}
+		}
+		if !busy {
+			break
+		}
+		for i := range r.nodes {
+			r.nodes[i].fossilCollect(gvt, r.record)
+		}
+		bank = write
+	}
+
+	// Commit all remaining history.
+	res := &Result{
+		Engine:     e.name,
+		Workers:    1,
+		NodeEvents: make([]int64, len(r.nodes)),
+		Outputs:    map[string][]TimedValue{},
+	}
+	if rt != nil {
+		res.Workers = rt.NumWorkers()
+	}
+	for i := range r.nodes {
+		nd := &r.nodes[i]
+		nd.fossilCollect(TimeInfinity, r.record)
+		res.NodeEvents[i] = nd.archived
+		res.TotalEvents += nd.archived
+		stats.Rollbacks += nd.rollbacks
+		stats.Undone += nd.undone
+		stats.Antis += nd.antis
+		stats.Stragglers += nd.stragglers
+	}
+	for _, id := range c.Outputs {
+		res.Outputs[c.Nodes[id].Name] = r.nodes[id].history
+	}
+	res.TimeWarp = stats
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// emit appends an event to the node's outbox bank for the given fanout
+// slot, stamping a fresh emission ID.
+func (n *twNode) emit(bank, slot int, ev twEvent) {
+	n.emitSeq++
+	ev.ID = int64(n.id)<<40 | n.emitSeq
+	ev.Port = n.fanout[slot].port
+	n.outBuf[bank][slot] = append(n.outBuf[bank][slot], ev)
+}
+
+// emitAnti sends an anti-message cancelling a recorded send.
+func (n *twNode) emitAnti(bank int, s twSend) {
+	anti := s.ev
+	anti.Anti = true
+	n.outBuf[bank][s.edge] = append(n.outBuf[bank][s.edge], anti)
+	n.antis++
+}
+
+// round is one node's BSP step: absorb arrivals from the read bank
+// (handling stragglers and anti-messages with rollbacks), then process
+// optimistically into the write bank.
+func (n *twNode) round(r *twRun, read, write int) {
+	// Absorb.
+	for _, ie := range n.inEdge {
+		src := &r.nodes[ie.src]
+		for _, ev := range src.outBuf[read][ie.slot] {
+			if ev.Anti {
+				n.annihilate(r, write, ev)
+				continue
+			}
+			if n.lvt >= 0 && ev.Time < n.lvt {
+				n.stragglers++
+				n.rollbackBefore(r, write, ev.Time, -1)
+			}
+			n.inputQ.Push(ev)
+		}
+	}
+	// Process optimistically up to the window horizon.
+	horizon := TimeInfinity
+	if r.window > 0 {
+		// GVT is implicit: the node's own unprocessed minimum is a safe
+		// local proxy available without a barrier; the driver's fossil
+		// GVT governs memory, not the horizon. A window W means "do not
+		// run more than W ahead of your own earliest pending work".
+		if top, ok := n.inputQ.Peek(); ok {
+			horizon = top.Time + r.window
+		}
+	}
+	for {
+		top, ok := n.inputQ.Peek()
+		if !ok || top.Time > horizon {
+			break
+		}
+		ev, _ := n.inputQ.Pop()
+		if n.cancelled[ev.ID] {
+			delete(n.cancelled, ev.ID)
+			continue
+		}
+		n.process(write, ev)
+	}
+}
+
+// process executes one event optimistically, logging state and sends.
+func (n *twNode) process(bank int, ev twEvent) {
+	rec := twRecord{ev: ev, preVal: n.inVal}
+	n.inVal[ev.Port] = ev.Value
+	if n.kind != circuit.Output && n.kind != circuit.Input {
+		v := n.kind.Eval(n.inVal[0], n.inVal[1])
+		out := twEvent{Time: ev.Time + n.delay + circuit.WireDelay, Value: v}
+		for slot := range n.fanout {
+			n.emit(bank, slot, out)
+			sent := n.outBuf[bank][slot][len(n.outBuf[bank][slot])-1]
+			rec.sends = append(rec.sends, twSend{edge: int32(slot), ev: sent})
+		}
+	}
+	n.log = append(n.log, rec)
+	n.lvt = ev.Time
+}
+
+// annihilate handles an anti-message: remove the matching positive event
+// from the queue (tombstone) or roll back its processing.
+func (n *twNode) annihilate(r *twRun, bank int, anti twEvent) {
+	// Processed?
+	for i := range n.log {
+		if n.log[i].ev.ID == anti.ID {
+			n.rollbackBefore(r, bank, anti.Time, anti.ID)
+			return
+		}
+	}
+	// Still queued (positives always arrive before their antis).
+	n.cancelled[anti.ID] = true
+}
+
+// rollbackBefore undoes every processed event with time > t (plus the
+// event with ID dropID, which is annihilated rather than re-queued),
+// restoring the state snapshot and sending anti-messages for all undone
+// emissions. For a straggler at time t, ties at t keep their processing
+// (tie order is free, per Section 4.1); for annihilation, the target
+// itself must go, so the cut starts at its log position.
+func (n *twNode) rollbackBefore(r *twRun, bank int, t int64, dropID int64) {
+	cut := len(n.log)
+	for i := range n.log {
+		if n.log[i].ev.Time > t || n.log[i].ev.ID == dropID {
+			cut = i
+			break
+		}
+	}
+	if cut == len(n.log) {
+		return
+	}
+	n.rollbacks++
+	for i := len(n.log) - 1; i >= cut; i-- {
+		rec := &n.log[i]
+		for _, s := range rec.sends {
+			n.emitAnti(bank, s)
+		}
+		n.undone++
+		if rec.ev.ID != dropID {
+			n.inputQ.Push(rec.ev)
+		}
+	}
+	n.inVal = n.log[cut].preVal
+	if cut > 0 {
+		n.lvt = n.log[cut-1].ev.Time
+	} else {
+		n.lvt = -1
+	}
+	n.log = n.log[:cut]
+}
+
+// fossilCollect commits log entries strictly older than gvt: output
+// terminals archive them as history samples; every node counts them.
+func (n *twNode) fossilCollect(gvt int64, record bool) {
+	cut := 0
+	for cut < len(n.log) && n.log[cut].ev.Time < gvt {
+		cut++
+	}
+	if cut == 0 {
+		return
+	}
+	if n.kind == circuit.Output && record {
+		for i := 0; i < cut; i++ {
+			n.history = append(n.history, TimedValue{Time: n.log[i].ev.Time, Value: n.log[i].ev.Value})
+		}
+	}
+	n.archived += int64(cut)
+	n.log = append(n.log[:0], n.log[cut:]...)
+}

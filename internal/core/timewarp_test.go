@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+
+	"hjdes/internal/circuit"
+)
+
+// twVerify runs the Time Warp engine on a circuit with random waves and
+// checks it against both the oracle and the sequential reference
+// (settled outputs and total committed events must match exactly).
+func twVerify(t *testing.T, e Engine, c *circuit.Circuit, nWaves int, seed int64) *Result {
+	t.Helper()
+	waves := randomWaves(c, nWaves, seed)
+	period := c.SettleTime() + 10
+	ref, err := RunAndVerify(NewSequential(Options{}), c, waves, period)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	res, err := RunAndVerify(e, c, waves, period)
+	if err != nil {
+		t.Fatalf("%s on %s: %v", e.Name(), c.Name, err)
+	}
+	if ok, diff := SameOutputs(ref, res); !ok {
+		t.Fatalf("%s disagrees with reference on %s: %s", e.Name(), c.Name, diff)
+	}
+	return res
+}
+
+func TestTimeWarpCircuits(t *testing.T) {
+	for _, tc := range []struct {
+		c     *circuit.Circuit
+		waves int
+	}{
+		{circuit.FullAdder(), 12},
+		{circuit.Mux2(), 10},
+		{circuit.C17(), 10},
+		{circuit.ParityChain(16), 5},
+		{circuit.KoggeStone(12), 6},
+		{circuit.BrentKung(10), 6},
+		{circuit.TreeMultiplier(5), 4},
+		{circuit.Butterfly(3), 6},
+	} {
+		t.Run(tc.c.Name, func(t *testing.T) {
+			twVerify(t, NewTimeWarp(Options{}), tc.c, tc.waves, 31)
+		})
+	}
+}
+
+func TestTimeWarpRandomCircuits(t *testing.T) {
+	for _, seed := range []int64{41, 42, 43, 44} {
+		c := circuit.RandomDAG(circuit.RandomConfig{Inputs: 6, Gates: 90, Outputs: 5, Seed: seed})
+		twVerify(t, NewTimeWarp(Options{}), c, 4, seed)
+	}
+}
+
+func TestTimeWarpWindows(t *testing.T) {
+	c := circuit.TreeMultiplier(4)
+	for _, w := range []int64{0, 1, 5, 50, 1 << 40} {
+		res := twVerify(t, NewTimeWarp(Options{TimeWarpWindow: w}), c, 4, 33)
+		if w > 0 && res.Engine == "timewarp" {
+			t.Fatalf("windowed engine misnamed %q", res.Engine)
+		}
+	}
+}
+
+func TestTimeWarpRollsBack(t *testing.T) {
+	// Unequal path delays (XOR slower than AND/OR) make stragglers
+	// likely on reconvergent circuits at meaningful wave counts.
+	c := circuit.TreeMultiplier(6)
+	waves := randomWaves(c, 6, 34)
+	period := c.SettleTime() + 10
+	res, err := NewTimeWarp(Options{}).Run(c, circuit.VectorWaves(c, waves, period))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimeWarp.Rounds == 0 {
+		t.Fatal("no rounds recorded")
+	}
+	if res.TimeWarp.Rollbacks == 0 {
+		t.Fatal("expected rollbacks on a reconvergent circuit; speculation never misfired")
+	}
+	if res.TimeWarp.Undone == 0 || res.TimeWarp.Antis == 0 {
+		t.Fatalf("rollbacks without undone work or antis: %v", res.TimeWarp)
+	}
+	if res.TimeWarp.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}
+
+func TestTimeWarpWorkerIndependence(t *testing.T) {
+	c := circuit.KoggeStone(10)
+	waves := randomWaves(c, 5, 35)
+	period := c.SettleTime() + 10
+	stim := circuit.VectorWaves(c, waves, period)
+	ref, err := NewTimeWarp(Options{Workers: 1}).Run(c, stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		res, err := NewTimeWarp(Options{Workers: workers}).Run(c, stim)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ok, diff := SameOutputs(ref, res); !ok {
+			t.Fatalf("workers=%d: %s", workers, diff)
+		}
+		// BSP structure makes even the speculation deterministic.
+		if res.TimeWarp != ref.TimeWarp {
+			t.Fatalf("workers=%d: stats differ: %v vs %v", workers, res.TimeWarp, ref.TimeWarp)
+		}
+	}
+}
+
+func TestTimeWarpCommittedEventCountsMatchConservative(t *testing.T) {
+	c := circuit.TreeMultiplier(4)
+	stim := circuit.VectorWaves(c, randomWaves(c, 5, 36), c.SettleTime()+10)
+	cons, err := NewSequential(Options{}).Run(c, stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := NewTimeWarp(Options{}).Run(c, stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cons.TotalEvents != opt.TotalEvents {
+		t.Fatalf("committed %d, conservative %d", opt.TotalEvents, cons.TotalEvents)
+	}
+	// Per-node commits must agree too.
+	for i := range cons.NodeEvents {
+		if cons.NodeEvents[i] != opt.NodeEvents[i] {
+			t.Fatalf("node %d: %d vs %d", i, opt.NodeEvents[i], cons.NodeEvents[i])
+		}
+	}
+}
+
+func TestTimeWarpEmptyStimulus(t *testing.T) {
+	c := circuit.FullAdder()
+	res, err := NewTimeWarp(Options{}).Run(c, circuit.NewStimulus(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalEvents != 0 {
+		t.Fatalf("events = %d", res.TotalEvents)
+	}
+}
+
+func TestTimeWarpDiscardOutputs(t *testing.T) {
+	c := circuit.C17()
+	stim := circuit.VectorWaves(c, randomWaves(c, 4, 37), c.SettleTime()+10)
+	res, err := NewTimeWarp(Options{DiscardOutputs: true}).Run(c, stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, h := range res.Outputs {
+		if len(h) != 0 {
+			t.Fatalf("output %q recorded despite DiscardOutputs", name)
+		}
+	}
+	if res.TotalEvents == 0 {
+		t.Fatal("no events processed")
+	}
+}
+
+func TestTimeWarpChangedStimulus(t *testing.T) {
+	c := circuit.C17()
+	waves := randomWaves(c, 8, 38)
+	period := c.SettleTime() + 10
+	res, err := NewTimeWarp(Options{}).Run(c, circuit.VectorWavesChanged(c, waves, period))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAgainstOracle(c, waves, period, res); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+
+	"hjdes/internal/circuit"
+)
+
+// VerifyAgainstOracle checks a simulation result against the levelized
+// combinational oracle: for each wave of the stimulus (assignments spaced
+// period apart, as built by circuit.VectorWaves), the settled value at
+// every output just before the next wave's effects arrive must equal
+// circuit.Evaluate of that wave's assignment. period must be at least the
+// circuit's SettleTime plus one.
+func VerifyAgainstOracle(c *circuit.Circuit, waves []map[string]circuit.Value, period int64, res *Result) error {
+	if period <= c.SettleTime() {
+		return fmt.Errorf("core: period %d <= settle time %d; waves would overlap", period, c.SettleTime())
+	}
+	for w, assign := range waves {
+		want := circuit.Evaluate(c, assign)
+		// Effects of wave w+1 (applied at (w+1)*period) reach the
+		// shallowest output no earlier than (w+1)*period + WireDelay, so
+		// sampling at (w+1)*period is safely inside wave w's settled
+		// window.
+		deadline := int64(w+1) * period
+		for name, wantV := range want {
+			history := res.Outputs[name]
+			got, ok := ValueAt(history, deadline)
+			if !ok {
+				return fmt.Errorf("core: wave %d: output %q saw no events by t=%d", w, name, deadline)
+			}
+			if got.Value != wantV {
+				return fmt.Errorf("core: wave %d: output %q = %v at t=%d, oracle says %v",
+					w, name, got.Value, deadline, wantV)
+			}
+		}
+	}
+	return nil
+}
+
+// RunAndVerify runs the engine on the waves and verifies against the
+// oracle; a convenience wrapper used by tests and examples.
+func RunAndVerify(e Engine, c *circuit.Circuit, waves []map[string]circuit.Value, period int64) (*Result, error) {
+	stim := circuit.VectorWaves(c, waves, period)
+	res, err := e.Run(c, stim)
+	if err != nil {
+		return nil, err
+	}
+	if err := VerifyAgainstOracle(c, waves, period, res); err != nil {
+		return res, err
+	}
+	return res, nil
+}

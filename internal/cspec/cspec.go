@@ -1,0 +1,127 @@
+// Package cspec parses the textual circuit specifications shared by the
+// command-line tools (dessim, circuitgen) and the examples:
+//
+//	fulladder                  the 1-bit full adder
+//	mux2                       the 2:1 multiplexer
+//	c17                        the ISCAS-85 c17 benchmark
+//	parity-N                   N-input XOR chain
+//	fanout-N                   depth-N buffer fanout tree
+//	koggestone-N               N-bit Kogge-Stone adder
+//	brentkung-N                N-bit Brent-Kung adder
+//	mult-N                     N-bit Wallace tree multiplier
+//	arraymult-N                N-bit ripple array multiplier
+//	butterfly-N                N-stage butterfly switching network
+//	random:IN,GATES,OUT,SEED   random layered DAG
+//	file:PATH                  netlist file (hjdes text format)
+//	bench:PATH                 ISCAS .bench netlist file
+package cspec
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"hjdes/internal/circuit"
+)
+
+// Build parses spec and constructs the circuit.
+func Build(spec string) (*circuit.Circuit, error) {
+	switch spec {
+	case "fulladder":
+		return circuit.FullAdder(), nil
+	case "mux2":
+		return circuit.Mux2(), nil
+	case "c17":
+		return circuit.C17(), nil
+	}
+	if path, ok := strings.CutPrefix(spec, "file:"); ok {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("cspec: %w", err)
+		}
+		defer f.Close()
+		c, err := circuit.ParseNetlist(f)
+		if err != nil {
+			return nil, fmt.Errorf("cspec: parse %s: %w", path, err)
+		}
+		return c, nil
+	}
+	if path, ok := strings.CutPrefix(spec, "bench:"); ok {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("cspec: %w", err)
+		}
+		defer f.Close()
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		c, err := circuit.ParseBench(f, name)
+		if err != nil {
+			return nil, fmt.Errorf("cspec: parse %s: %w", path, err)
+		}
+		return c, nil
+	}
+	if args, ok := strings.CutPrefix(spec, "random:"); ok {
+		return buildRandom(args)
+	}
+	for _, g := range sizedGenerators {
+		if arg, ok := strings.CutPrefix(spec, g.prefix); ok {
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < g.min {
+				return nil, fmt.Errorf("cspec: %s needs an integer >= %d, got %q", strings.TrimSuffix(g.prefix, "-"), g.min, arg)
+			}
+			if n > g.max {
+				return nil, fmt.Errorf("cspec: %s size %d exceeds limit %d", strings.TrimSuffix(g.prefix, "-"), n, g.max)
+			}
+			return g.build(n), nil
+		}
+	}
+	return nil, fmt.Errorf("cspec: unknown circuit spec %q (see package cspec docs for the grammar)", spec)
+}
+
+// sizedGenerators maps "name-N" prefixes to constructors. Size limits
+// keep accidental typos (mult-1200) from exhausting memory.
+var sizedGenerators = []struct {
+	prefix   string
+	min, max int
+	build    func(int) *circuit.Circuit
+}{
+	{"parity-", 2, 1 << 20, circuit.ParityChain},
+	{"fanout-", 1, 22, circuit.FanoutTree},
+	{"koggestone-", 1, 4096, circuit.KoggeStone},
+	{"brentkung-", 1, 4096, circuit.BrentKung},
+	{"mult-", 1, 64, circuit.TreeMultiplier},
+	{"arraymult-", 1, 64, circuit.ArrayMultiplier},
+	{"butterfly-", 1, 12, circuit.Butterfly},
+}
+
+func buildRandom(args string) (*circuit.Circuit, error) {
+	parts := strings.Split(args, ",")
+	if len(parts) != 4 {
+		return nil, fmt.Errorf("cspec: random spec needs IN,GATES,OUT,SEED, got %q", args)
+	}
+	var nums [4]int64
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cspec: random spec field %d: %v", i, err)
+		}
+		nums[i] = v
+	}
+	if nums[0] < 1 || nums[1] < 0 || nums[2] < 1 {
+		return nil, fmt.Errorf("cspec: random spec needs IN>=1, GATES>=0, OUT>=1")
+	}
+	return circuit.RandomDAG(circuit.RandomConfig{
+		Inputs: int(nums[0]), Gates: int(nums[1]), Outputs: int(nums[2]), Seed: nums[3],
+	}), nil
+}
+
+// Known returns the list of supported fixed and prefix specs, for help
+// text.
+func Known() []string {
+	out := []string{"fulladder", "mux2", "c17", "file:PATH", "bench:PATH", "random:IN,GATES,OUT,SEED"}
+	for _, g := range sizedGenerators {
+		out = append(out, g.prefix+"N")
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package cspec
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hjdes/internal/circuit"
+)
+
+func TestBuildFixedAndSized(t *testing.T) {
+	cases := []struct {
+		spec      string
+		wantName  string
+		wantNodes int // 0 = don't check
+	}{
+		{"fulladder", "fulladder", 10},
+		{"mux2", "mux2", 0},
+		{"c17", "c17", 13},
+		{"parity-8", "parity-8", 0},
+		{"fanout-3", "fanout-3", 0},
+		{"koggestone-16", "koggestone-16", 0},
+		{"brentkung-16", "brentkung-16", 0},
+		{"mult-4", "treemult-4", 0},
+		{"arraymult-4", "arraymult-4", 0},
+		{"butterfly-3", "butterfly-3", 0},
+		{"random:4,20,2,7", "random-4-20-7", 0},
+	}
+	for _, tc := range cases {
+		c, err := Build(tc.spec)
+		if err != nil {
+			t.Errorf("Build(%q): %v", tc.spec, err)
+			continue
+		}
+		if c.Name != tc.wantName {
+			t.Errorf("Build(%q).Name = %q, want %q", tc.spec, c.Name, tc.wantName)
+		}
+		if tc.wantNodes > 0 && c.NumNodes() != tc.wantNodes {
+			t.Errorf("Build(%q) nodes = %d, want %d", tc.spec, c.NumNodes(), tc.wantNodes)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	for _, spec := range []string{
+		"", "frobnicator", "koggestone-", "koggestone-x", "koggestone-0",
+		"mult-9999", "random:1,2", "random:a,b,c,d", "random:0,5,1,1",
+		"file:/does/not/exist.net", "butterfly-99",
+	} {
+		if _, err := Build(spec); err == nil {
+			t.Errorf("Build(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestBuildFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tiny.net")
+	src := "circuit tiny\ninput 0 x\ngate 1 NOT 0\noutput 2 y 1\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Build("file:" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "tiny" || c.NumNodes() != 3 {
+		t.Fatalf("parsed %v", c)
+	}
+	// A malformed netlist file reports a parse error mentioning the path.
+	if err := os.WriteFile(path, []byte("garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build("file:" + path); err == nil || !strings.Contains(err.Error(), "tiny.net") {
+		t.Fatalf("err = %v, want parse error naming the file", err)
+	}
+}
+
+func TestBuildFromBenchFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c17.bench")
+	src := `INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Build("bench:" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "c17" || len(c.Inputs) != 5 || len(c.Outputs) != 2 {
+		t.Fatalf("parsed %v", c)
+	}
+	if _, err := Build("bench:/does/not/exist.bench"); err == nil {
+		t.Fatal("missing bench file accepted")
+	}
+}
+
+func TestBuiltCircuitsSimulate(t *testing.T) {
+	// Every spec Build returns must be a valid, simulatable circuit.
+	for _, spec := range []string{"fulladder", "parity-4", "koggestone-4", "brentkung-4", "mult-2", "butterfly-2", "random:3,15,2,1"} {
+		c, err := Build(spec)
+		if err != nil {
+			t.Fatalf("Build(%q): %v", spec, err)
+		}
+		out := circuit.Evaluate(c, map[string]circuit.Value{})
+		if len(out) != len(c.Outputs) {
+			t.Fatalf("%q: oracle produced %d outputs, want %d", spec, len(out), len(c.Outputs))
+		}
+	}
+}
+
+func TestKnownListsEverything(t *testing.T) {
+	known := Known()
+	if len(known) < 8 {
+		t.Fatalf("Known() = %v", known)
+	}
+	joined := strings.Join(known, " ")
+	for _, want := range []string{"fulladder", "koggestone-N", "butterfly-N", "file:PATH"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("Known() missing %q: %v", want, known)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package galois_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hjdes/internal/galois"
+)
+
+// The unordered-set optimistic iterator: activities execute
+// speculatively in parallel, acquiring the shared objects they touch;
+// conflicting activities abort and retry transparently.
+func ExampleForEach() {
+	rt := galois.New(4)
+
+	// A shared counter guarded by one conflict object.
+	var obj galois.Object
+	counter := 0
+	items := make([]int, 500)
+	galois.ForEach(rt, items, func(it *galois.Iteration[int], item int) {
+		it.Acquire(&obj)
+		counter++
+	})
+	fmt.Println(counter)
+	// Output: 500
+}
+
+// The ordered-set iterator commits strictly by priority: all priority-1
+// work finishes before any priority-2 work runs.
+func ExampleForEachOrdered() {
+	rt := galois.New(4)
+	var mu sync.Mutex
+	var order []int
+	galois.ForEachOrdered(rt, []int{3, 1, 2, 1, 3},
+		func(x int) int64 { return int64(x) },
+		func(it *galois.OrderedIteration[int], item int) {
+			it.OnCommit(func() {
+				mu.Lock()
+				order = append(order, item)
+				mu.Unlock()
+			})
+		})
+	// Within a priority level order is free; sort each level for output.
+	sort.Ints(order)
+	fmt.Println(order)
+	// Output: [1 1 2 3 3]
+}

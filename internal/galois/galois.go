@@ -1,0 +1,299 @@
+// Package galois is a from-scratch Go implementation of the core of the
+// Galois object-based optimistic parallelization system (Section 2.2 of
+// the paper), which the paper uses as its performance baseline. It
+// provides the three ingredients the paper lists:
+//
+//   - an unordered-set optimistic iterator (ForEach) whose elements
+//     execute as speculative parallel activities;
+//   - a runtime scheme that detects conflicting shared-object accesses
+//     (per-object ownership acquired on first access) and recovers from
+//     them (undo-log rollback, abort, and re-execution);
+//   - library hooks for registering inverse methods (Iteration.Undo),
+//     standing in for Galois's class-library assertions.
+//
+// As in Galois, conflict management is implicit: the activity body cannot
+// observe ownership and decide to bail out early, which is exactly why the
+// paper's "cautious" check-locks-first optimization (Algorithm 2, lines
+// 9-15) cannot be expressed on top of this runtime without modifying it.
+package galois
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hjdes/internal/queue"
+)
+
+// Object is the per-shared-datum ownership record used for conflict
+// detection. Embed one (or hold one) in every shared structure touched by
+// speculative activities. The zero value is ready to use.
+type Object struct {
+	owner atomic.Pointer[ownerTag]
+}
+
+// ownerTag identifies one running iteration; a fresh tag is used per
+// executed activity so stale pointers can never alias a new iteration.
+type ownerTag struct{ _ byte }
+
+// conflict is the panic sentinel thrown by Iteration.Acquire on a
+// detected conflict and caught by the executor's rollback handler.
+type conflict struct{ obj *Object }
+
+// Stats holds the executor's activity counters.
+type Stats struct {
+	Committed atomic.Int64 // activities that ran to completion
+	Aborted   atomic.Int64 // activities rolled back and retried
+	Pushed    atomic.Int64 // new items added during execution
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	Committed, Aborted, Pushed int64
+}
+
+// AbortRate returns aborts / (commits+aborts), the speculation waste.
+func (s StatsSnapshot) AbortRate() float64 {
+	total := s.Committed + s.Aborted
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Aborted) / float64(total)
+}
+
+func (s StatsSnapshot) String() string {
+	return fmt.Sprintf("committed=%d aborted=%d pushed=%d abortRate=%.3f",
+		s.Committed, s.Aborted, s.Pushed, s.AbortRate())
+}
+
+// Runtime configures Galois-style execution. It is stateless between
+// ForEach calls apart from the accumulated Stats.
+type Runtime struct {
+	workers int
+	stats   Stats
+}
+
+// New returns a runtime that executes activities on the given number of
+// workers (GOMAXPROCS when workers <= 0).
+func New(workers int) *Runtime {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runtime{workers: workers}
+}
+
+// NumWorkers reports the configured worker count.
+func (rt *Runtime) NumWorkers() int { return rt.workers }
+
+// Stats returns a snapshot of the accumulated activity counters.
+func (rt *Runtime) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		Committed: rt.stats.Committed.Load(),
+		Aborted:   rt.stats.Aborted.Load(),
+		Pushed:    rt.stats.Pushed.Load(),
+	}
+}
+
+// Iteration is the per-activity record handed to the ForEach body: it
+// tracks acquired objects for conflict detection, the undo log for
+// rollback, and new work items produced by the activity.
+type Iteration[T any] struct {
+	tag      *ownerTag
+	acquired []*Object
+	undo     []func()
+	produced []T
+	onCommit []func()
+	aborts   int // consecutive aborts by this worker (for backoff)
+}
+
+// Acquire takes ownership of obj for this activity. If another running
+// activity owns obj, the current activity aborts: its undo log is played
+// backwards, its owned objects are released, and the item is re-queued
+// for execution. Acquire is idempotent for objects already owned by this
+// activity.
+func (it *Iteration[T]) Acquire(obj *Object) {
+	cur := obj.owner.Load()
+	if cur == it.tag {
+		return
+	}
+	if cur == nil && obj.owner.CompareAndSwap(nil, it.tag) {
+		it.acquired = append(it.acquired, obj)
+		return
+	}
+	panic(conflict{obj})
+}
+
+// TryAcquireAll is the runtime-internal arbitration hook used by library
+// code that knows an activity's full object neighborhood up front; user
+// operators should call Acquire as they touch objects. It acquires every
+// object or aborts.
+func (it *Iteration[T]) TryAcquireAll(objs []*Object) {
+	for _, o := range objs {
+		it.Acquire(o)
+	}
+}
+
+// Undo registers fn to be executed (in reverse registration order) if the
+// activity later aborts. Register an inverse before or immediately after
+// each side effect on acquired shared state.
+func (it *Iteration[T]) Undo(fn func()) {
+	it.undo = append(it.undo, fn)
+}
+
+// Push adds a new work item produced by this activity. Items become
+// visible to other workers only when the activity commits; an aborted
+// activity's pushes are discarded (and re-produced by the retry), which
+// keeps the workset consistent with transactional semantics.
+func (it *Iteration[T]) Push(item T) {
+	it.produced = append(it.produced, item)
+}
+
+// OnCommit registers fn to run if and when the activity commits (after
+// its ownership is released); an aborted attempt discards registered
+// actions. This is the analog of Galois's commit-pool actions, and it is
+// how irreversible side effects (I/O, cross-workset publication) are
+// made safe inside speculative activities.
+func (it *Iteration[T]) OnCommit(fn func()) {
+	it.onCommit = append(it.onCommit, fn)
+}
+
+// release drops ownership of every acquired object.
+func (it *Iteration[T]) release() {
+	for i := len(it.acquired) - 1; i >= 0; i-- {
+		it.acquired[i].owner.Store(nil)
+	}
+	it.acquired = it.acquired[:0]
+}
+
+// rollback plays the undo log backwards and releases ownership.
+func (it *Iteration[T]) rollback() {
+	for i := len(it.undo) - 1; i >= 0; i-- {
+		it.undo[i]()
+	}
+	it.reset()
+}
+
+func (it *Iteration[T]) reset() {
+	it.release()
+	it.undo = it.undo[:0]
+	it.produced = it.produced[:0]
+	it.onCommit = it.onCommit[:0]
+}
+
+// ForEach executes body once (to commit) for every element of initial and
+// for every element pushed during execution, speculatively in parallel on
+// rt's workers, with unordered-set iterator semantics. It returns when the
+// workset is exhausted — i.e. every activity has committed.
+//
+// The body must route every access to shared mutable state through
+// it.Acquire (and register inverses with it.Undo for mutations performed
+// before all acquisitions are complete). A body that acquires everything
+// it needs before mutating anything never needs the undo log.
+func ForEach[T any](rt *Runtime, initial []T, body func(it *Iteration[T], item T)) {
+	ws := queue.NewChunkStack[T]()
+	var pending atomic.Int64
+	pending.Store(int64(len(initial)))
+	seedLocal := ws.NewLocal()
+	for _, item := range initial {
+		seedLocal.Push(item)
+	}
+	seedLocal.Flush()
+
+	// A panic in the body surfaces on a worker goroutine; capture the
+	// first one, drain the other workers, and re-panic on the caller.
+	var failure atomic.Pointer[panicBox]
+	var wg sync.WaitGroup
+	for w := 0; w < rt.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					failure.CompareAndSwap(nil, &panicBox{val: r})
+				}
+			}()
+			local := ws.NewLocal()
+			it := &Iteration[T]{tag: new(ownerTag)}
+			idleSpins := 0
+			for failure.Load() == nil {
+				item, ok := local.Pop()
+				if !ok {
+					if pending.Load() == 0 {
+						return
+					}
+					idleSpins++
+					if idleSpins < 16 {
+						runtime.Gosched()
+					} else {
+						time.Sleep(2 * time.Microsecond)
+					}
+					continue
+				}
+				idleSpins = 0
+				if runItem(rt, it, local, &pending, body, item) {
+					// Committed: publish produced items eagerly so idle
+					// workers can start on them.
+					local.Flush()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if f := failure.Load(); f != nil {
+		panic(f.val)
+	}
+}
+
+// panicBox carries a recovered panic value across goroutines.
+type panicBox struct{ val any }
+
+// runItem executes one activity attempt, committing or rolling back. It
+// reports whether the activity committed.
+func runItem[T any](rt *Runtime, it *Iteration[T], local *queue.Local[T], pending *atomic.Int64, body func(*Iteration[T], T), item T) (committed bool) {
+	defer func() {
+		r := recover()
+		switch c := r.(type) {
+		case nil:
+			// Commit: publish produced items and run commit actions,
+			// then release ownership.
+			for _, p := range it.produced {
+				pending.Add(1)
+				rt.stats.Pushed.Add(1)
+				local.Push(p)
+			}
+			for _, fn := range it.onCommit {
+				fn()
+			}
+			it.reset()
+			it.tag = new(ownerTag)
+			it.aborts = 0
+			rt.stats.Committed.Add(1)
+			pending.Add(-1)
+			committed = true
+		case conflict:
+			_ = c
+			it.rollback()
+			it.tag = new(ownerTag)
+			it.aborts++
+			rt.stats.Aborted.Add(1)
+			// Requeue for retry with escalating backoff so the winning
+			// activity can finish (livelock avoidance by arbitration).
+			local.Push(item)
+			if it.aborts > 4 {
+				local.Flush() // let another worker try it
+				time.Sleep(time.Duration(it.aborts) * time.Microsecond)
+			} else {
+				runtime.Gosched()
+			}
+		default:
+			// A genuine panic from the body: release ownership so other
+			// workers are not wedged, then propagate.
+			it.rollback()
+			panic(r)
+		}
+	}()
+	body(it, item)
+	return // value set in the deferred handler
+}

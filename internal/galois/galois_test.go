@@ -1,0 +1,253 @@
+package galois
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryItem(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		rt := New(workers)
+		var count atomic.Int64
+		items := make([]int, 1000)
+		for i := range items {
+			items[i] = i
+		}
+		ForEach(rt, items, func(it *Iteration[int], item int) {
+			count.Add(1)
+		})
+		if count.Load() != 1000 {
+			t.Fatalf("workers=%d: ran %d items, want 1000", workers, count.Load())
+		}
+	}
+}
+
+func TestForEachEmptyInitial(t *testing.T) {
+	rt := New(4)
+	ran := false
+	ForEach(rt, nil, func(it *Iteration[int], item int) { ran = true })
+	if ran {
+		t.Fatal("body ran with empty workset")
+	}
+}
+
+func TestForEachPushedItemsExecute(t *testing.T) {
+	rt := New(4)
+	var count atomic.Int64
+	// Each item < 100 pushes two children; total items = full binary
+	// expansion starting from 1 root.
+	var expected atomic.Int64
+	expected.Store(1)
+	ForEach(rt, []int{1}, func(it *Iteration[int], item int) {
+		count.Add(1)
+		if item < 100 {
+			it.Push(item * 2)
+			it.Push(item*2 + 1)
+			expected.Add(2)
+		}
+	})
+	if count.Load() != expected.Load() {
+		t.Fatalf("ran %d items, want %d", count.Load(), expected.Load())
+	}
+}
+
+// TestConflictDetection verifies mutual exclusion: activities increment a
+// plain int guarded by one shared Object; the total must be exact.
+func TestConflictDetection(t *testing.T) {
+	rt := New(8)
+	var obj Object
+	counter := 0 // not atomic; guarded by obj ownership
+	items := make([]int, 20000)
+	ForEach(rt, items, func(it *Iteration[int], item int) {
+		it.Acquire(&obj)
+		counter++
+	})
+	if counter != 20000 {
+		t.Fatalf("counter = %d, want 20000 (conflict detection failed)", counter)
+	}
+	s := rt.Stats()
+	if s.Committed != 20000 {
+		t.Fatalf("Committed = %d, want 20000", s.Committed)
+	}
+}
+
+func TestAcquireIdempotent(t *testing.T) {
+	rt := New(2)
+	var obj Object
+	ForEach(rt, []int{1}, func(it *Iteration[int], item int) {
+		it.Acquire(&obj)
+		it.Acquire(&obj) // must not self-conflict
+		it.Acquire(&obj)
+	})
+	if rt.Stats().Aborted != 0 {
+		t.Fatalf("self-acquire caused %d aborts", rt.Stats().Aborted)
+	}
+	if obj.owner.Load() != nil {
+		t.Fatal("ownership not released after commit")
+	}
+}
+
+// TestUndoLogRollsBack mutates shared state before acquiring a contended
+// object, registering inverses. After the run, the net effect must equal
+// the committed effect only.
+func TestUndoLogRollsBack(t *testing.T) {
+	rt := New(8)
+	var gate Object
+	var mutations, committedDelta atomic.Int64
+	items := make([]int, 5000)
+	ForEach(rt, items, func(it *Iteration[int], item int) {
+		// Side effect before the (potentially conflicting) acquire, with
+		// a registered inverse.
+		mutations.Add(1)
+		it.Undo(func() { mutations.Add(-1) })
+		it.Acquire(&gate)
+		committedDelta.Add(1)
+		it.Undo(func() { committedDelta.Add(-1) })
+	})
+	if mutations.Load() != 5000 {
+		t.Fatalf("net mutations = %d, want 5000 (undo log broken)", mutations.Load())
+	}
+	if committedDelta.Load() != 5000 {
+		t.Fatalf("committed delta = %d, want 5000", committedDelta.Load())
+	}
+}
+
+// TestAbortedPushesDiscarded ensures an aborted activity's Push calls are
+// not published: only committed activities enqueue children.
+func TestAbortedPushesDiscarded(t *testing.T) {
+	rt := New(8)
+	var gate Object
+	var childRuns atomic.Int64
+	items := make([]int, 2000)
+	ForEach(rt, items, func(it *Iteration[int], item int) {
+		if item == -1 {
+			childRuns.Add(1)
+			return
+		}
+		it.Push(-1)
+		it.Acquire(&gate) // may abort after the push
+	})
+	// Each of the 2000 parents commits exactly once, so exactly 2000
+	// children run even though aborted attempts also called Push.
+	if childRuns.Load() != 2000 {
+		t.Fatalf("children ran %d times, want 2000", childRuns.Load())
+	}
+	if got := rt.Stats().Pushed; got != 2000 {
+		t.Fatalf("Pushed = %d, want 2000", got)
+	}
+}
+
+func TestAbortsAreCounted(t *testing.T) {
+	rt := New(8)
+	var hot Object
+	items := make([]int, 30000)
+	ForEach(rt, items, func(it *Iteration[int], item int) {
+		it.Acquire(&hot)
+		// Hold briefly to force overlap.
+		for i := 0; i < 50; i++ {
+			_ = i
+		}
+	})
+	s := rt.Stats()
+	if s.Committed != 30000 {
+		t.Fatalf("Committed = %d", s.Committed)
+	}
+	// On a multicore box there will be aborts; on a single-CPU box there
+	// may be none. Either way, AbortRate must be well-formed.
+	if r := s.AbortRate(); r < 0 || r >= 1 {
+		t.Fatalf("AbortRate = %v out of range", r)
+	}
+}
+
+func TestDisjointObjectsDontConflict(t *testing.T) {
+	rt := New(4)
+	objs := make([]Object, 64)
+	counters := make([]int, 64)
+	items := make([]int, 6400)
+	for i := range items {
+		items[i] = i % 64
+	}
+	ForEach(rt, items, func(it *Iteration[int], item int) {
+		it.Acquire(&objs[item])
+		counters[item]++
+	})
+	for i, c := range counters {
+		if c != 100 {
+			t.Fatalf("counter[%d] = %d, want 100", i, c)
+		}
+	}
+}
+
+func TestTryAcquireAll(t *testing.T) {
+	rt := New(4)
+	objs := []*Object{{}, {}, {}}
+	counter := 0
+	items := make([]int, 3000)
+	ForEach(rt, items, func(it *Iteration[int], item int) {
+		it.TryAcquireAll(objs)
+		counter++
+	})
+	if counter != 3000 {
+		t.Fatalf("counter = %d", counter)
+	}
+}
+
+func TestBodyPanicPropagates(t *testing.T) {
+	rt := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("body panic did not propagate")
+		}
+	}()
+	ForEach(rt, []int{1}, func(it *Iteration[int], item int) {
+		panic("boom")
+	})
+}
+
+func TestNewDefaultWorkers(t *testing.T) {
+	if New(0).NumWorkers() < 1 {
+		t.Fatal("default workers < 1")
+	}
+	if New(-5).NumWorkers() < 1 {
+		t.Fatal("negative workers not defaulted")
+	}
+}
+
+func TestStatsSnapshotString(t *testing.T) {
+	s := StatsSnapshot{Committed: 3, Aborted: 1}
+	if s.AbortRate() != 0.25 {
+		t.Fatalf("AbortRate = %v, want 0.25", s.AbortRate())
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+	var zero StatsSnapshot
+	if zero.AbortRate() != 0 {
+		t.Fatal("zero snapshot AbortRate should be 0")
+	}
+}
+
+func BenchmarkForEachIndependent(b *testing.B) {
+	rt := New(0)
+	items := make([]int, b.N)
+	var sink atomic.Int64
+	b.ResetTimer()
+	ForEach(rt, items, func(it *Iteration[int], item int) {
+		sink.Add(1)
+	})
+}
+
+func BenchmarkForEachContended(b *testing.B) {
+	rt := New(0)
+	var hot Object
+	items := make([]int, b.N)
+	counter := 0
+	b.ResetTimer()
+	ForEach(rt, items, func(it *Iteration[int], item int) {
+		it.Acquire(&hot)
+		counter++
+	})
+	if counter != b.N {
+		b.Fatalf("counter = %d, want %d", counter, b.N)
+	}
+}

@@ -1,0 +1,106 @@
+package galois
+
+import (
+	"fmt"
+	"sync"
+
+	"hjdes/internal/queue"
+)
+
+// OrderedIteration is the activity record handed to ForEachOrdered
+// bodies. It offers the same conflict-detection interface as Iteration,
+// but Push routes produced items into the ordered pending set (at commit
+// time), where they wait for their own priority's turn.
+type OrderedIteration[T any] struct {
+	inner *Iteration[T]
+	sink  func(T)
+}
+
+// Acquire takes ownership of obj, aborting (and retrying) the activity
+// on conflict.
+func (o *OrderedIteration[T]) Acquire(obj *Object) { o.inner.Acquire(obj) }
+
+// TryAcquireAll acquires every object or aborts.
+func (o *OrderedIteration[T]) TryAcquireAll(objs []*Object) { o.inner.TryAcquireAll(objs) }
+
+// Undo registers an inverse to run on abort.
+func (o *OrderedIteration[T]) Undo(fn func()) { o.inner.Undo(fn) }
+
+// OnCommit registers an action to run if the activity commits.
+func (o *OrderedIteration[T]) OnCommit(fn func()) { o.inner.OnCommit(fn) }
+
+// Push schedules a new item. It takes effect only if the activity
+// commits, and the item must not be ordered before the batch currently
+// executing (priorities may only move forward).
+func (o *OrderedIteration[T]) Push(item T) {
+	o.inner.OnCommit(func() { o.sink(item) })
+}
+
+// orderedEntry keeps insertion order stable within a priority level.
+type orderedEntry[T any] struct {
+	prio int64
+	seq  int64
+	item T
+}
+
+// ForEachOrdered is the Galois ordered-set optimistic iterator (Section
+// 2.2 of the paper describes both iterator forms): items execute in
+// nondecreasing priority order, with all items of one priority level
+// running as one speculative parallel batch (conflicts within the batch
+// abort and retry, exactly as in ForEach). Items pushed during execution
+// join the pending set at their own priority, which must be at least the
+// priority of the batch that produced them; pushing an earlier-ordered
+// item panics, as it would violate the iterator's ordering contract.
+func ForEachOrdered[T any](rt *Runtime, initial []T, prio func(T) int64, body func(it *OrderedIteration[T], item T)) {
+	var mu sync.Mutex
+	var seq int64
+	pending := queue.NewHeap(func(a, b orderedEntry[T]) bool {
+		if a.prio != b.prio {
+			return a.prio < b.prio
+		}
+		return a.seq < b.seq
+	})
+	push := func(item T, floor int64, haveFloor bool) {
+		p := prio(item)
+		if haveFloor && p < floor {
+			panic(fmt.Sprintf("galois: ForEachOrdered: pushed item with priority %d below current batch priority %d", p, floor))
+		}
+		mu.Lock()
+		seq++
+		pending.Push(orderedEntry[T]{prio: p, seq: seq, item: item})
+		mu.Unlock()
+	}
+	for _, item := range initial {
+		push(item, 0, false)
+	}
+	for {
+		mu.Lock()
+		head, ok := pending.Peek()
+		if !ok {
+			mu.Unlock()
+			return
+		}
+		level := head.prio
+		var batch []T
+		for {
+			h, ok := pending.Peek()
+			if !ok || h.prio != level {
+				break
+			}
+			e, _ := pending.Pop()
+			batch = append(batch, e.item)
+		}
+		mu.Unlock()
+
+		ForEach(rt, batch, func(it *Iteration[T], item T) {
+			o := &OrderedIteration[T]{
+				inner: it,
+				sink:  func(x T) { push(x, level, true) },
+			}
+			body(o, item)
+			if len(it.produced) > 0 {
+				panic("galois: ForEachOrdered bodies must not reach the unordered Push")
+			}
+		})
+	}
+}

@@ -1,0 +1,141 @@
+package galois
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestOrderedRunsInPriorityOrder(t *testing.T) {
+	rt := New(4)
+	var mu sync.Mutex
+	var order []int
+	items := []int{5, 1, 3, 1, 5, 2, 4, 2}
+	ForEachOrdered(rt, items, func(x int) int64 { return int64(x) },
+		func(it *OrderedIteration[int], item int) {
+			it.OnCommit(func() {
+				mu.Lock()
+				order = append(order, item)
+				mu.Unlock()
+			})
+		})
+	if len(order) != len(items) {
+		t.Fatalf("ran %d items, want %d", len(order), len(items))
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("commit order not nondecreasing: %v", order)
+		}
+	}
+}
+
+func TestOrderedPushJoinsLaterBatch(t *testing.T) {
+	rt := New(4)
+	var mu sync.Mutex
+	var order []int
+	// Items at priority p < 3 push a child at p+1; the children must all
+	// commit after every item of their parents' priority.
+	ForEachOrdered(rt, []int{0, 0, 0}, func(x int) int64 { return int64(x) },
+		func(it *OrderedIteration[int], item int) {
+			if item < 3 {
+				it.Push(item + 1)
+			}
+			it.OnCommit(func() {
+				mu.Lock()
+				order = append(order, item)
+				mu.Unlock()
+			})
+		})
+	// 3 roots at 0, each spawning a chain 1,2,3: 12 commits total.
+	if len(order) != 12 {
+		t.Fatalf("ran %d items: %v", len(order), order)
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("order violated: %v", order)
+		}
+	}
+}
+
+func TestOrderedConflictsRetried(t *testing.T) {
+	rt := New(8)
+	var hot Object
+	counter := 0
+	items := make([]int, 5000)
+	ForEachOrdered(rt, items, func(int) int64 { return 1 },
+		func(it *OrderedIteration[int], item int) {
+			it.Acquire(&hot)
+			counter++
+		})
+	if counter != 5000 {
+		t.Fatalf("counter = %d (conflict retry broken)", counter)
+	}
+}
+
+func TestOrderedUndoOnAbort(t *testing.T) {
+	rt := New(8)
+	var gate Object
+	var net atomic.Int64
+	items := make([]int, 2000)
+	ForEachOrdered(rt, items, func(int) int64 { return 0 },
+		func(it *OrderedIteration[int], item int) {
+			net.Add(1)
+			it.Undo(func() { net.Add(-1) })
+			it.Acquire(&gate)
+		})
+	if net.Load() != 2000 {
+		t.Fatalf("net effect = %d, want 2000", net.Load())
+	}
+}
+
+func TestOrderedPushBackwardPanics(t *testing.T) {
+	rt := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backward push did not panic")
+		}
+	}()
+	ForEachOrdered(rt, []int{5}, func(x int) int64 { return int64(x) },
+		func(it *OrderedIteration[int], item int) {
+			it.Push(1) // priority 1 < current batch 5
+		})
+}
+
+func TestOrderedEmpty(t *testing.T) {
+	rt := New(2)
+	ran := false
+	ForEachOrdered(rt, nil, func(int) int64 { return 0 },
+		func(it *OrderedIteration[int], item int) { ran = true })
+	if ran {
+		t.Fatal("body ran on empty input")
+	}
+}
+
+func TestOrderedTryAcquireAllFacade(t *testing.T) {
+	rt := New(4)
+	objs := []*Object{{}, {}}
+	counter := 0
+	items := make([]int, 1000)
+	ForEachOrdered(rt, items, func(int) int64 { return 0 },
+		func(it *OrderedIteration[int], item int) {
+			it.TryAcquireAll(objs)
+			counter++
+		})
+	if counter != 1000 {
+		t.Fatalf("counter = %d", counter)
+	}
+}
+
+func TestOnCommitDiscardedOnAbort(t *testing.T) {
+	rt := New(8)
+	var gate Object
+	var commits atomic.Int64
+	items := make([]int, 3000)
+	ForEach(rt, items, func(it *Iteration[int], item int) {
+		it.OnCommit(func() { commits.Add(1) })
+		it.Acquire(&gate) // may abort after registration
+	})
+	if commits.Load() != 3000 {
+		t.Fatalf("commit actions ran %d times, want 3000", commits.Load())
+	}
+}

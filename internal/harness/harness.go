@@ -1,0 +1,171 @@
+// Package harness runs the paper's evaluation: repeated, parameterized
+// simulation runs over circuits, engines and worker counts, summarized
+// the way the paper reports them (minimum execution times for Figures
+// 4-6, averages with 95% confidence intervals for Figure 7) and rendered
+// as aligned text tables and CSV.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"hjdes/internal/circuit"
+	"hjdes/internal/core"
+	"hjdes/internal/stats"
+)
+
+// EngineFactory builds an engine for a given worker count. Sequential
+// engines ignore the argument.
+type EngineFactory func(workers int) core.Engine
+
+// Spec describes one measured configuration.
+type Spec struct {
+	Label   string
+	Circuit *circuit.Circuit
+	Stim    *circuit.Stimulus
+	Factory EngineFactory
+	Workers int
+	Repeats int // paper: 20
+}
+
+// Measurement is the repeated-run summary of one Spec.
+type Measurement struct {
+	Label   string
+	Engine  string
+	Workers int
+	Events  int64
+	Times   *stats.Sample // seconds per run
+}
+
+// Measure runs the spec Repeats times and collects timing statistics.
+// Output recording is disabled during measurement; a RunAndVerify pass
+// belongs in the tests, not the timed loop.
+func Measure(spec Spec) (*Measurement, error) {
+	repeats := spec.Repeats
+	if repeats <= 0 {
+		repeats = 1
+	}
+	eng := spec.Factory(spec.Workers)
+	m := &Measurement{
+		Label:   spec.Label,
+		Engine:  eng.Name(),
+		Workers: spec.Workers,
+		Times:   stats.New(),
+	}
+	for i := 0; i < repeats; i++ {
+		res, err := eng.Run(spec.Circuit, spec.Stim)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s run %d: %w", spec.Label, i, err)
+		}
+		m.Events = res.TotalEvents
+		m.Times.Add(res.Elapsed.Seconds())
+	}
+	return m, nil
+}
+
+// MinSeconds is the paper's headline metric (minimum over repeats).
+func (m *Measurement) MinSeconds() float64 { return m.Times.Min() }
+
+// MeanSeconds and CI95 are the Figure 7 metrics.
+func (m *Measurement) MeanSeconds() float64 { return m.Times.Mean() }
+
+// CI95 is the 95% confidence half-width of the mean, in seconds.
+func (m *Measurement) CI95() float64 { return m.Times.CI95() }
+
+// SweepPoint is one worker count of a sweep.
+type SweepPoint struct {
+	Workers int
+	M       *Measurement
+}
+
+// Sweep measures the factory across the given worker counts.
+func Sweep(label string, c *circuit.Circuit, stim *circuit.Stimulus, f EngineFactory, workerCounts []int, repeats int) ([]SweepPoint, error) {
+	points := make([]SweepPoint, 0, len(workerCounts))
+	for _, w := range workerCounts {
+		m, err := Measure(Spec{
+			Label: fmt.Sprintf("%s/w%d", label, w), Circuit: c, Stim: stim,
+			Factory: f, Workers: w, Repeats: repeats,
+		})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, SweepPoint{Workers: w, M: m})
+	}
+	return points, nil
+}
+
+// Table is a rendered experiment: headers plus rows, writable as aligned
+// text or CSV.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as CSV (cells are simple tokens; no quoting
+// needed).
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Headers, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// FmtSeconds renders a duration in seconds with ms precision.
+func FmtSeconds(s float64) string {
+	return fmt.Sprintf("%.4f", s)
+}
+
+// FmtDuration renders a time.Duration compactly.
+func FmtDuration(d time.Duration) string { return d.Round(time.Microsecond).String() }

@@ -1,0 +1,367 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"hjdes/internal/circuit"
+	"hjdes/internal/core"
+)
+
+// tinyConfig keeps the experiment tests fast: two repeats, two workers,
+// and small stand-in circuits instead of the paper's full-size inputs.
+func tinyConfig() Config {
+	return Config{
+		Scale: 1, Repeats: 2, MaxWorkers: 2, Seed: 1,
+		Circuits: []PaperCircuit{
+			{Name: "tiny-mult-4", Build: func() *circuit.Circuit { return circuit.TreeMultiplier(4) }, FullWaves: 2},
+			{Name: "tiny-ks-8", Build: func() *circuit.Circuit { return circuit.KoggeStone(8) }, FullWaves: 3},
+			{Name: "tiny-c17", Build: circuit.C17, FullWaves: 4},
+		},
+	}
+}
+
+func TestMeasureRepeats(t *testing.T) {
+	c := circuit.FullAdder()
+	stim := circuit.RandomStimulus(c, 3, c.SettleTime()+10, 1)
+	m, err := Measure(Spec{
+		Label: "fa", Circuit: c, Stim: stim,
+		Factory: seqFactory, Repeats: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Times.N() != 5 {
+		t.Fatalf("recorded %d times, want 5", m.Times.N())
+	}
+	if m.Events == 0 {
+		t.Fatal("no events recorded")
+	}
+	if m.MinSeconds() <= 0 || m.MeanSeconds() < m.MinSeconds() {
+		t.Fatalf("min=%v mean=%v", m.MinSeconds(), m.MeanSeconds())
+	}
+	if m.Engine != "seq" {
+		t.Fatalf("engine = %q", m.Engine)
+	}
+}
+
+func TestMeasureDefaultsRepeats(t *testing.T) {
+	c := circuit.FullAdder()
+	stim := circuit.RandomStimulus(c, 1, c.SettleTime()+10, 1)
+	m, err := Measure(Spec{Label: "fa", Circuit: c, Stim: stim, Factory: seqFactory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Times.N() != 1 {
+		t.Fatalf("default repeats = %d, want 1", m.Times.N())
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	c := circuit.KoggeStone(4)
+	stim := circuit.RandomStimulus(c, 2, c.SettleTime()+10, 1)
+	pts, err := Sweep("ks4", c, stim, hjFactory, []int{1, 2, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i, w := range []int{1, 2, 4} {
+		if pts[i].Workers != w || pts[i].M.Workers != w {
+			t.Fatalf("point %d workers = %d/%d", i, pts[i].Workers, pts[i].M.Workers)
+		}
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if got := FmtSeconds(1.23456); got != "1.2346" {
+		t.Errorf("FmtSeconds = %q", got)
+	}
+	if got := FmtDuration(1500 * time.Microsecond); got != "1.5ms" {
+		t.Errorf("FmtDuration = %q", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Title: "demo", Headers: []string{"a", "bee"}}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	var text, csv bytes.Buffer
+	if err := tbl.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	out := text.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "333") {
+		t.Fatalf("text output:\n%s", out)
+	}
+	if err := tbl.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,bee\n1,2\n333,4\n"
+	if csv.String() != want {
+		t.Fatalf("csv = %q, want %q", csv.String(), want)
+	}
+}
+
+func TestWorkerCounts(t *testing.T) {
+	cfg := Config{MaxWorkers: 8}
+	got := cfg.workerCounts()
+	want := []int{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("workerCounts = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("workerCounts = %v", got)
+		}
+	}
+	// Non-power-of-two max is appended.
+	cfg.MaxWorkers = 6
+	got = cfg.workerCounts()
+	if got[len(got)-1] != 6 {
+		t.Fatalf("workerCounts = %v, want trailing 6", got)
+	}
+	// Explicit list wins.
+	cfg.Workers = []int{3, 5}
+	got = cfg.workerCounts()
+	if len(got) != 2 || got[0] != 3 {
+		t.Fatalf("workerCounts = %v", got)
+	}
+	// Degenerate config.
+	if ws := (Config{}).workerCounts(); len(ws) != 1 || ws[0] != 1 {
+		t.Fatalf("empty config workerCounts = %v", ws)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tbl, err := Table1(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Headers) {
+			t.Fatalf("ragged row: %v", row)
+		}
+	}
+}
+
+func TestTable2ReturnsBaselines(t *testing.T) {
+	tbl, baselines, err := Table2(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 || len(baselines) != 3 {
+		t.Fatalf("rows=%d baselines=%d", len(tbl.Rows), len(baselines))
+	}
+	for name, b := range baselines {
+		if b <= 0 {
+			t.Fatalf("baseline %q = %v", name, b)
+		}
+	}
+}
+
+func TestFig1Profile(t *testing.T) {
+	tbl, profile, err := Fig1(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profile) == 0 || len(tbl.Rows) != len(profile) {
+		t.Fatalf("profile=%d rows=%d", len(profile), len(tbl.Rows))
+	}
+	if core.MaxParallelism(profile) < 2 {
+		t.Fatalf("suspicious profile %v", profile)
+	}
+}
+
+func TestFigSweepValidatesFigure(t *testing.T) {
+	if _, err := FigSweep(tinyConfig(), 9); err == nil {
+		t.Fatal("FigSweep accepted figure 9")
+	}
+}
+
+func TestFigSweepTiny(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Workers = []int{1, 2}
+	tbl, err := FigSweep(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestFig7Tiny(t *testing.T) {
+	tbl, err := Fig7(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 { // 3 circuits x 2 engines
+		t.Fatalf("rows = %d, want 6", len(tbl.Rows))
+	}
+}
+
+func TestAblationsTiny(t *testing.T) {
+	tbl, err := Ablations(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(tbl.Rows))
+	}
+	// The first row is the optimized reference: its ratio column is 1.00x.
+	if tbl.Rows[0][3] != "1.00x" {
+		t.Fatalf("reference ratio = %q", tbl.Rows[0][3])
+	}
+}
+
+func TestProfilesExperiment(t *testing.T) {
+	tbl, err := Profiles(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tbl.Rows))
+	}
+	// The parity chain's mean parallelism must be far below the
+	// butterfly's — that is the point of the comparison.
+	var chainMean, bflyMean string
+	for _, row := range tbl.Rows {
+		switch {
+		case row[0] == "parity-32":
+			chainMean = row[5]
+		case row[0] == "butterfly-5":
+			bflyMean = row[5]
+		}
+	}
+	if chainMean == "" || bflyMean == "" {
+		t.Fatalf("missing rows: %v", tbl.Rows)
+	}
+}
+
+func TestTimeWarpExpTiny(t *testing.T) {
+	tbl, err := TimeWarpExp(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestOrderedExpTiny(t *testing.T) {
+	tbl, err := OrderedExp(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestNetDESTiny(t *testing.T) {
+	cfg := tinyConfig()
+	tbl, err := NetDES(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Headers) {
+			t.Fatalf("ragged row %v", row)
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Fatal("empty series should render empty")
+	}
+	s := Sparkline([]int{0, 1, 2, 4, 8})
+	if len([]rune(s)) != 5 {
+		t.Fatalf("sparkline %q", s)
+	}
+	if Sparkline([]int{0, 0}) == "" {
+		t.Fatal("all-zero series should still render")
+	}
+}
+
+// TestAllEndToEnd runs the complete experiment driver (every table and
+// figure plus the extensions) on the tiny circuit set and checks the
+// report contains each section.
+func TestAllEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment driver skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := All(tinyConfig(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table 1", "Table 2", "Figure 1", "Figure 4", "Figure 5",
+		"Figure 6", "Figure 7", "Ablations", "parallelism profiles",
+		"Time Warp", "ordered", "packet-network",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("All report missing %q", want)
+		}
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Scale <= 0 || cfg.Repeats < 1 || cfg.MaxWorkers < 1 {
+		t.Fatalf("DefaultConfig = %+v", cfg)
+	}
+	if len(cfg.circuits()) != 3 {
+		t.Fatalf("default circuits = %d", len(cfg.circuits()))
+	}
+}
+
+// TestPaperScaleCalibration verifies the FullWaves calibration: at
+// scale 1 each paper circuit's simulated event volume lands within 25%
+// of the paper's Table 1 total. Runs tens of millions of events; -short
+// skips it.
+func TestPaperScaleCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale calibration skipped in -short mode")
+	}
+	cfg := Config{Scale: 1, Seed: 1}
+	for _, pc := range PaperCircuits {
+		c := pc.Build()
+		stim := cfg.stimulus(c, pc)
+		res, err := core.NewSequential(core.Options{DiscardOutputs: true}).Run(c, stim)
+		if err != nil {
+			t.Fatalf("%s: %v", pc.Name, err)
+		}
+		ratio := float64(res.TotalEvents) / float64(pc.PaperTotal)
+		if ratio < 0.75 || ratio > 1.25 {
+			t.Errorf("%s: %d events at scale 1, paper %d (ratio %.2f)",
+				pc.Name, res.TotalEvents, pc.PaperTotal, ratio)
+		}
+	}
+}
+
+func TestWavesScaling(t *testing.T) {
+	cfg := Config{Scale: 1}
+	if w := cfg.waves(PaperCircuits[1]); w != PaperCircuits[1].FullWaves {
+		t.Fatalf("full-scale waves = %d", w)
+	}
+	cfg.Scale = 0.0001
+	if w := cfg.waves(PaperCircuits[0]); w != 1 {
+		t.Fatalf("tiny-scale waves = %d, want 1", w)
+	}
+	cfg.Scale = 0
+	if w := cfg.waves(PaperCircuits[0]); w < 1 {
+		t.Fatalf("zero-scale waves = %d", w)
+	}
+}

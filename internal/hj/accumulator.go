@@ -1,0 +1,56 @@
+package hj
+
+// Accumulator is HJlib's finish accumulator: a reduction variable that
+// any task may contribute to with Put, whose combined value becomes
+// available once the enclosing Finish has joined all contributors. It
+// keeps one padded lane per worker, so Put is contention-free, and it
+// preserves deadlock freedom trivially (Put never blocks; Value is read
+// after the join).
+//
+// The combining operation must be associative and commutative;
+// contribution order is unspecified.
+type Accumulator[T any] struct {
+	op    func(a, b T) T
+	ident T
+	lanes []accLane[T]
+}
+
+// accLane pads each worker's slot to its own cache line to avoid false
+// sharing on the Put fast path.
+type accLane[T any] struct {
+	val T
+	_   [64]byte
+}
+
+// NewAccumulator creates an accumulator on rt with the given identity
+// element and combining operation (e.g. 0 and +, 1 and *, -inf and max).
+func NewAccumulator[T any](rt *Runtime, identity T, op func(a, b T) T) *Accumulator[T] {
+	acc := &Accumulator[T]{op: op, ident: identity, lanes: make([]accLane[T], rt.NumWorkers())}
+	acc.Reset()
+	return acc
+}
+
+// Put combines v into the calling worker's lane.
+func (a *Accumulator[T]) Put(c *Ctx, v T) {
+	lane := &a.lanes[c.WorkerID()]
+	lane.val = a.op(lane.val, v)
+}
+
+// Value combines all lanes. It must only be called when no task can
+// still contribute — i.e. after the Finish enclosing the contributing
+// asyncs has returned.
+func (a *Accumulator[T]) Value() T {
+	out := a.ident
+	for i := range a.lanes {
+		out = a.op(out, a.lanes[i].val)
+	}
+	return out
+}
+
+// Reset restores every lane to the identity, so the accumulator can be
+// reused across phases.
+func (a *Accumulator[T]) Reset() {
+	for i := range a.lanes {
+		a.lanes[i].val = a.ident
+	}
+}

@@ -1,0 +1,93 @@
+package hj
+
+import (
+	"testing"
+)
+
+func TestAccumulatorSum(t *testing.T) {
+	withRuntime(t, 4, func(rt *Runtime) {
+		acc := NewAccumulator(rt, 0, func(a, b int) int { return a + b })
+		const n = 10000
+		rt.Finish(func(ctx *Ctx) {
+			ctx.ForAsync(n, 16, func(c *Ctx, i int) {
+				acc.Put(c, i)
+			})
+		})
+		if got := acc.Value(); got != n*(n-1)/2 {
+			t.Fatalf("sum = %d, want %d", got, n*(n-1)/2)
+		}
+	})
+}
+
+func TestAccumulatorMax(t *testing.T) {
+	withRuntime(t, 4, func(rt *Runtime) {
+		acc := NewAccumulator(rt, -1<<62, func(a, b int64) int64 {
+			if a > b {
+				return a
+			}
+			return b
+		})
+		rt.Finish(func(ctx *Ctx) {
+			ctx.ForAsync(5000, 8, func(c *Ctx, i int) {
+				acc.Put(c, int64((i*2654435761)%99991))
+			})
+		})
+		want := int64(0)
+		for i := 0; i < 5000; i++ {
+			if v := int64((i * 2654435761) % 99991); v > want {
+				want = v
+			}
+		}
+		if got := acc.Value(); got != want {
+			t.Fatalf("max = %d, want %d", got, want)
+		}
+	})
+}
+
+func TestAccumulatorResetAndReuse(t *testing.T) {
+	withRuntime(t, 2, func(rt *Runtime) {
+		acc := NewAccumulator(rt, 0, func(a, b int) int { return a + b })
+		for round := 1; round <= 3; round++ {
+			acc.Reset()
+			rt.Finish(func(ctx *Ctx) {
+				ctx.ForAsync(100, 4, func(c *Ctx, i int) { acc.Put(c, 1) })
+			})
+			if got := acc.Value(); got != 100 {
+				t.Fatalf("round %d: %d, want 100", round, got)
+			}
+		}
+	})
+}
+
+func TestAccumulatorIdentityWhenUnused(t *testing.T) {
+	withRuntime(t, 2, func(rt *Runtime) {
+		// The element must be a true identity of the operation (the
+		// documented contract): 1 for products.
+		acc := NewAccumulator(rt, 1, func(a, b int) int { return a * b })
+		if acc.Value() != 1 {
+			t.Fatalf("unused accumulator = %d, want identity 1", acc.Value())
+		}
+		rt.Finish(func(ctx *Ctx) {
+			ctx.ForAsync(10, 2, func(c *Ctx, i int) { acc.Put(c, 2) })
+		})
+		if got := acc.Value(); got != 1024 {
+			t.Fatalf("product = %d, want 2^10", got)
+		}
+	})
+}
+
+func TestAccumulatorStringConcatOrderIndependentLength(t *testing.T) {
+	// A non-numeric payload: concatenation is associative (though not
+	// commutative, lengths still must add up — the documented contract
+	// requires commutativity for deterministic *values*, so only the
+	// length is asserted here).
+	withRuntime(t, 4, func(rt *Runtime) {
+		acc := NewAccumulator(rt, "", func(a, b string) string { return a + b })
+		rt.Finish(func(ctx *Ctx) {
+			ctx.ForAsync(200, 8, func(c *Ctx, i int) { acc.Put(c, "x") })
+		})
+		if got := len(acc.Value()); got != 200 {
+			t.Fatalf("len = %d, want 200", got)
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package hj
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestConfigStealTries(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 2, StealTries: 1})
+	defer rt.Shutdown()
+	var count atomic.Int64
+	rt.Finish(func(ctx *Ctx) {
+		for i := 0; i < 1000; i++ {
+			ctx.Async(func(*Ctx) { count.Add(1) })
+		}
+	})
+	if count.Load() != 1000 {
+		t.Fatalf("count = %d with StealTries=1", count.Load())
+	}
+}
+
+func TestConfigSeedIsAccepted(t *testing.T) {
+	for _, seed := range []int64{0, 1, -7, 1 << 40} {
+		rt := NewRuntime(Config{Workers: 3, Seed: seed})
+		var count atomic.Int64
+		rt.Finish(func(ctx *Ctx) {
+			ctx.ForAsync(100, 1, func(*Ctx, int) { count.Add(1) })
+		})
+		rt.Shutdown()
+		if count.Load() != 100 {
+			t.Fatalf("seed %d: count = %d", seed, count.Load())
+		}
+	}
+}
+
+// TestManyRuntimes ensures runtimes are independent: several coexisting
+// runtimes all complete their work.
+func TestManyRuntimes(t *testing.T) {
+	const n = 8
+	rts := make([]*Runtime, n)
+	for i := range rts {
+		rts[i] = NewRuntime(Config{Workers: 2})
+	}
+	defer func() {
+		for _, rt := range rts {
+			rt.Shutdown()
+		}
+	}()
+	var total atomic.Int64
+	done := make(chan struct{}, n)
+	for _, rt := range rts {
+		rt := rt
+		go func() {
+			rt.Finish(func(ctx *Ctx) {
+				for i := 0; i < 500; i++ {
+					ctx.Async(func(*Ctx) { total.Add(1) })
+				}
+			})
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	if total.Load() != n*500 {
+		t.Fatalf("total = %d, want %d", total.Load(), n*500)
+	}
+}
+
+// TestConcurrentFinishFromManyGoroutines: external goroutines may submit
+// root tasks concurrently to one runtime.
+func TestConcurrentFinishFromManyGoroutines(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 4})
+	defer rt.Shutdown()
+	const submitters = 6
+	var total atomic.Int64
+	done := make(chan struct{}, submitters)
+	for s := 0; s < submitters; s++ {
+		go func() {
+			for round := 0; round < 10; round++ {
+				rt.Finish(func(ctx *Ctx) {
+					for i := 0; i < 50; i++ {
+						ctx.Async(func(*Ctx) { total.Add(1) })
+					}
+				})
+			}
+			done <- struct{}{}
+		}()
+	}
+	for s := 0; s < submitters; s++ {
+		<-done
+	}
+	if total.Load() != submitters*10*50 {
+		t.Fatalf("total = %d", total.Load())
+	}
+}

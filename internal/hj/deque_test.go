@@ -1,0 +1,169 @@
+package hj
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWSDequeOwnerLIFO(t *testing.T) {
+	d := newWSDeque()
+	tasks := make([]*task, 10)
+	for i := range tasks {
+		tasks[i] = &task{}
+		d.pushBottom(tasks[i])
+	}
+	for i := 9; i >= 0; i-- {
+		got := d.popBottom()
+		if got != tasks[i] {
+			t.Fatalf("popBottom order wrong at %d", i)
+		}
+	}
+	if d.popBottom() != nil {
+		t.Fatal("popBottom on empty deque returned a task")
+	}
+}
+
+func TestWSDequeStealFIFO(t *testing.T) {
+	d := newWSDeque()
+	tasks := make([]*task, 10)
+	for i := range tasks {
+		tasks[i] = &task{}
+		d.pushBottom(tasks[i])
+	}
+	for i := 0; i < 10; i++ {
+		got, retry := d.steal()
+		if retry {
+			i--
+			continue
+		}
+		if got != tasks[i] {
+			t.Fatalf("steal order wrong at %d", i)
+		}
+	}
+	if got, _ := d.steal(); got != nil {
+		t.Fatal("steal on empty deque returned a task")
+	}
+}
+
+func TestWSDequeGrowth(t *testing.T) {
+	d := newWSDeque()
+	n := (1 << initialDequeLogSize) * 4
+	tasks := make([]*task, n)
+	for i := range tasks {
+		tasks[i] = &task{}
+		d.pushBottom(tasks[i])
+	}
+	if d.sizeHint() != int64(n) {
+		t.Fatalf("sizeHint = %d, want %d", d.sizeHint(), n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		if d.popBottom() != tasks[i] {
+			t.Fatalf("post-growth pop wrong at %d", i)
+		}
+	}
+}
+
+func TestWSDequeMixedOwnerOps(t *testing.T) {
+	d := newWSDeque()
+	a, b, c := &task{}, &task{}, &task{}
+	d.pushBottom(a)
+	d.pushBottom(b)
+	if got := d.popBottom(); got != b {
+		t.Fatal("expected b")
+	}
+	d.pushBottom(c)
+	if got, _ := d.steal(); got != a {
+		t.Fatal("expected steal to take a")
+	}
+	if got := d.popBottom(); got != c {
+		t.Fatal("expected c")
+	}
+	if d.popBottom() != nil || d.sizeHint() != 0 {
+		t.Fatal("deque should be empty")
+	}
+}
+
+// TestWSDequeConcurrentExactlyOnce runs one owner (pushing and popping)
+// against several thieves and checks every task is delivered exactly once.
+func TestWSDequeConcurrentExactlyOnce(t *testing.T) {
+	const total = 200000
+	const thieves = 4
+	d := newWSDeque()
+	tasks := make([]task, total)
+	index := make(map[*task]int, total)
+	for i := range tasks {
+		index[&tasks[i]] = i
+	}
+	delivered := make([]atomic.Int32, total)
+	var count atomic.Int64
+
+	record := func(tk *task) {
+		if tk == nil {
+			return
+		}
+		idx := index[tk] // read-only map access; safe concurrently
+		if delivered[idx].Add(1) != 1 {
+			t.Errorf("task %d delivered more than once", idx)
+		}
+		count.Add(1)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				tk, _ := d.steal()
+				if tk != nil {
+					record(tk)
+					continue
+				}
+				select {
+				case <-stop:
+					// Final drain after the owner stops.
+					for {
+						tk, retry := d.steal()
+						if tk != nil {
+							record(tk)
+						} else if !retry {
+							return
+						}
+					}
+				default:
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < total; i++ {
+		d.pushBottom(&tasks[i])
+		if i%3 == 0 {
+			record(d.popBottom())
+		}
+	}
+	for {
+		tk := d.popBottom()
+		if tk == nil {
+			break
+		}
+		record(tk)
+	}
+	close(stop)
+	wg.Wait()
+
+	// Anything left (thieves may have bailed while owner repushed) —
+	// deque must be drainable to empty by the owner.
+	for {
+		tk := d.popBottom()
+		if tk == nil {
+			break
+		}
+		record(tk)
+	}
+	if count.Load() != total {
+		t.Fatalf("delivered %d tasks, want %d", count.Load(), total)
+	}
+}

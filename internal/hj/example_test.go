@@ -1,0 +1,104 @@
+package hj_test
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hjdes/internal/hj"
+)
+
+// The basic async/finish pattern: spawn lightweight tasks and join them.
+func ExampleRuntime_Finish() {
+	rt := hj.NewRuntime(hj.Config{Workers: 4})
+	defer rt.Shutdown()
+
+	var sum atomic.Int64
+	rt.Finish(func(ctx *hj.Ctx) {
+		for i := 1; i <= 100; i++ {
+			i := i
+			ctx.Async(func(*hj.Ctx) { sum.Add(int64(i)) })
+		}
+	})
+	fmt.Println(sum.Load())
+	// Output: 5050
+}
+
+// Futures compose fork/join computations; Get helps run pending tasks
+// while it waits, so workers never idle.
+func ExampleAsyncFuture() {
+	rt := hj.NewRuntime(hj.Config{Workers: 2})
+	defer rt.Shutdown()
+
+	var result int
+	rt.Finish(func(ctx *hj.Ctx) {
+		a := hj.AsyncFuture(ctx, func(*hj.Ctx) int { return 20 })
+		b := hj.AsyncFuture(ctx, func(*hj.Ctx) int { return 22 })
+		result = a.Get(ctx) + b.Get(ctx)
+	})
+	fmt.Println(result)
+	// Output: 42
+}
+
+// The paper's TryLock/ReleaseAllLocks extension: non-blocking locks that
+// keep the runtime deadlock-free; a task that loses the race retries by
+// respawning itself.
+func ExampleCtx_TryLock() {
+	rt := hj.NewRuntime(hj.Config{Workers: 4})
+	defer rt.Shutdown()
+
+	lock := hj.NewLock()
+	counter := 0 // protected by lock
+	var body func(c *hj.Ctx)
+	body = func(c *hj.Ctx) {
+		if !c.TryLock(lock) {
+			c.Async(body) // try again later, never block
+			return
+		}
+		counter++
+		c.ReleaseAllLocks()
+	}
+	rt.Finish(func(ctx *hj.Ctx) {
+		for i := 0; i < 1000; i++ {
+			ctx.Async(body)
+		}
+	})
+	fmt.Println(counter)
+	// Output: 1000
+}
+
+// Accumulators reduce values contributed by many tasks without
+// contention (one lane per worker).
+func ExampleAccumulator() {
+	rt := hj.NewRuntime(hj.Config{Workers: 4})
+	defer rt.Shutdown()
+
+	max := hj.NewAccumulator(rt, 0, func(a, b int) int {
+		if a > b {
+			return a
+		}
+		return b
+	})
+	rt.Finish(func(ctx *hj.Ctx) {
+		ctx.ForAsync(1000, 16, func(c *hj.Ctx, i int) {
+			max.Put(c, (i*37)%997)
+		})
+	})
+	fmt.Println(max.Value())
+	// Output: 996
+}
+
+// Phased activities advance through barriers in lockstep.
+func ExampleForAllPhased() {
+	history := make([][]int, 3)
+	hj.ForAllPhased(4, func(i int, ph *hj.Phaser) {
+		for p := 0; p < 3; p++ {
+			_ = i
+			next := ph.Next()
+			if i == 0 {
+				history[p] = []int{next}
+			}
+		}
+	})
+	fmt.Println(history)
+	// Output: [[1] [2] [3]]
+}

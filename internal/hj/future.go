@@ -1,0 +1,86 @@
+package hj
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Future is a single-assignment value produced by an async task — one of
+// the additional HJlib constructs the paper notes preserve Habanero's
+// deadlock-freedom property (Section 3.2). Deadlock freedom holds
+// because a task can only wait on futures created before the wait, so
+// the waits-for graph is acyclic; and because Get helps execute pending
+// tasks while it waits, a worker blocked on a future still drains the
+// deques.
+type Future[T any] struct {
+	val  T
+	done atomic.Bool
+	ch   chan struct{}
+}
+
+// AsyncFuture spawns fn as a child task of the current IEF and returns a
+// Future for its result — HJlib's "future(() -> expr)".
+func AsyncFuture[T any](c *Ctx, fn func(*Ctx) T) *Future[T] {
+	f := &Future[T]{ch: make(chan struct{})}
+	c.Async(func(ctx *Ctx) {
+		f.val = fn(ctx)
+		f.done.Store(true)
+		close(f.ch)
+	})
+	return f
+}
+
+// Ready reports whether the value is available.
+func (f *Future[T]) Ready() bool { return f.done.Load() }
+
+// Get returns the future's value, helping execute pending tasks while it
+// waits (so a worker never idles inside Get).
+func (f *Future[T]) Get(c *Ctx) T {
+	w := c.worker
+	spins := 0
+	for !f.done.Load() {
+		if t := w.findWork(); t != nil {
+			w.execute(t)
+			spins = 0
+			continue
+		}
+		spins++
+		if spins < 8 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(5 * time.Microsecond)
+		}
+	}
+	return f.val
+}
+
+// Wait blocks a non-worker goroutine until the value is available. Use
+// Get from inside tasks; Wait exists for code outside the runtime.
+func (f *Future[T]) Wait() T {
+	<-f.ch
+	return f.val
+}
+
+// ForAsync spawns fn for every index in [0, n), chunked into grain-sized
+// tasks under the current IEF — HJlib's forasync loop construct. A grain
+// of 1 spawns one task per index; larger grains amortize task overhead
+// for fine-grained bodies. The call returns once all tasks are spawned
+// (join at the enclosing Finish, as with Async).
+func (c *Ctx) ForAsync(n, grain int, fn func(ctx *Ctx, i int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	for lo := 0; lo < n; lo += grain {
+		lo := lo
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		c.Async(func(ctx *Ctx) {
+			for i := lo; i < hi; i++ {
+				fn(ctx, i)
+			}
+		})
+	}
+}

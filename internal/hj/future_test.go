@@ -1,0 +1,134 @@
+package hj
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestFutureBasic(t *testing.T) {
+	withRuntime(t, 4, func(rt *Runtime) {
+		rt.Finish(func(ctx *Ctx) {
+			f := AsyncFuture(ctx, func(*Ctx) int { return 42 })
+			if got := f.Get(ctx); got != 42 {
+				t.Errorf("Get = %d", got)
+			}
+			// Get is idempotent.
+			if got := f.Get(ctx); got != 42 {
+				t.Errorf("second Get = %d", got)
+			}
+			if !f.Ready() {
+				t.Error("Ready = false after Get")
+			}
+		})
+	})
+}
+
+// TestFutureFib computes fib via recursive futures — the canonical
+// async/finish + futures exercise, and a deadlock check: every Get
+// happens on workers that must help each other.
+func TestFutureFib(t *testing.T) {
+	withRuntime(t, 4, func(rt *Runtime) {
+		var fib func(ctx *Ctx, n int) int
+		fib = func(ctx *Ctx, n int) int {
+			if n < 2 {
+				return n
+			}
+			left := AsyncFuture(ctx, func(c *Ctx) int { return fib(c, n-1) })
+			right := fib(ctx, n-2)
+			return left.Get(ctx) + right
+		}
+		var got int
+		rt.Finish(func(ctx *Ctx) { got = fib(ctx, 18) })
+		if got != 2584 {
+			t.Fatalf("fib(18) = %d, want 2584", got)
+		}
+	})
+}
+
+func TestFutureSingleWorkerNoDeadlock(t *testing.T) {
+	withRuntime(t, 1, func(rt *Runtime) {
+		rt.Finish(func(ctx *Ctx) {
+			// A chain of futures each waiting on the next; with one
+			// worker, Get must help or this deadlocks.
+			fs := make([]*Future[int], 10)
+			for i := range fs {
+				i := i
+				fs[i] = AsyncFuture(ctx, func(c *Ctx) int { return i * i })
+			}
+			sum := 0
+			for _, f := range fs {
+				sum += f.Get(ctx)
+			}
+			if sum != 285 {
+				t.Errorf("sum = %d, want 285", sum)
+			}
+		})
+	})
+}
+
+func TestFutureWaitFromOutside(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 2})
+	defer rt.Shutdown()
+	results := make(chan int, 1)
+	rt.Finish(func(ctx *Ctx) {
+		f := AsyncFuture(ctx, func(*Ctx) int { return 7 })
+		results <- f.Wait() // Wait also works on workers here because the value closes ch
+	})
+	if got := <-results; got != 7 {
+		t.Fatalf("Wait = %d", got)
+	}
+}
+
+func TestForAsyncCoversAllIndices(t *testing.T) {
+	withRuntime(t, 4, func(rt *Runtime) {
+		for _, grain := range []int{1, 3, 7, 100, 1000} {
+			const n = 500
+			var hits [n]atomic.Int32
+			rt.Finish(func(ctx *Ctx) {
+				ctx.ForAsync(n, grain, func(c *Ctx, i int) {
+					hits[i].Add(1)
+				})
+			})
+			for i := range hits {
+				if hits[i].Load() != 1 {
+					t.Fatalf("grain %d: index %d hit %d times", grain, i, hits[i].Load())
+				}
+			}
+		}
+	})
+}
+
+func TestForAsyncZeroIterations(t *testing.T) {
+	withRuntime(t, 2, func(rt *Runtime) {
+		ran := atomic.Int32{}
+		rt.Finish(func(ctx *Ctx) {
+			ctx.ForAsync(0, 1, func(*Ctx, int) { ran.Add(1) })
+			ctx.ForAsync(5, 0, func(*Ctx, int) { ran.Add(1) }) // grain<1 defaults to 1
+		})
+		if ran.Load() != 5 {
+			t.Fatalf("ran = %d, want 5", ran.Load())
+		}
+	})
+}
+
+func BenchmarkFutureFanIn(b *testing.B) {
+	rt := NewRuntime(Config{})
+	defer rt.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Finish(func(ctx *Ctx) {
+			fs := make([]*Future[int], 64)
+			for j := range fs {
+				j := j
+				fs[j] = AsyncFuture(ctx, func(*Ctx) int { return j })
+			}
+			sum := 0
+			for _, f := range fs {
+				sum += f.Get(ctx)
+			}
+			if sum != 64*63/2 {
+				b.Fatal("bad sum")
+			}
+		})
+	}
+}

@@ -1,0 +1,58 @@
+package hj
+
+import (
+	"runtime"
+	"sort"
+)
+
+// Isolated executes fn in mutual exclusion with every other Isolated
+// invocation, regardless of the objects involved — the HJlib
+// "isolated(() -> stmt)" global form. It must only be used from inside a
+// task; fn must not call Finish or block on other tasks.
+func (c *Ctx) Isolated(fn func()) {
+	rt := c.worker.rt
+	rt.globalIso.Lock()
+	rt.stats.Isolated.Add(1)
+	fn()
+	rt.globalIso.Unlock()
+}
+
+// IsolatedOn executes fn in mutual exclusion with every other potentially
+// parallel Isolated/IsolatedOn invocation whose lock set intersects locks
+// — the HJlib "isolated(v1, v2, ..., () -> stmt)" object-based form.
+//
+// The locks are acquired in ascending ID order, which makes the construct
+// deadlock-free: all IsolatedOn invocations agree on a total acquisition
+// order. Acquisition spins (with escalating yields) rather than parking;
+// isolated sections are expected to be short, per the HJ model.
+func (c *Ctx) IsolatedOn(locks []*Lock, fn func()) {
+	if len(locks) == 0 {
+		c.Isolated(fn)
+		return
+	}
+	ordered := make([]*Lock, len(locks))
+	copy(ordered, locks)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].id < ordered[j].id })
+	for _, l := range ordered {
+		spinAcquire(l)
+	}
+	c.worker.rt.stats.Isolated.Add(1)
+	fn()
+	for i := len(ordered) - 1; i >= 0; i-- {
+		ordered[i].release()
+	}
+}
+
+// spinAcquire blocks until l is acquired, yielding progressively so a
+// holder running on the same P can make progress.
+func spinAcquire(l *Lock) {
+	for spins := 0; ; spins++ {
+		if l.tryAcquire() {
+			return
+		}
+		if spins < 32 {
+			continue
+		}
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,124 @@
+package hj
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPhaserLockstep(t *testing.T) {
+	const n, phases = 8, 20
+	var counters [n]atomic.Int64
+	ForAllPhased(n, func(i int, ph *Phaser) {
+		for p := 0; p < phases; p++ {
+			counters[i].Add(1)
+			ph.Next()
+			// After the barrier, every participant must have finished
+			// phase p: all counters >= p+1.
+			for j := 0; j < n; j++ {
+				if c := counters[j].Load(); c < int64(p+1) {
+					t.Errorf("phase %d: participant %d at %d", p, j, c)
+					return
+				}
+			}
+		}
+	})
+	for i := 0; i < n; i++ {
+		if counters[i].Load() != phases {
+			t.Fatalf("participant %d ran %d phases", i, counters[i].Load())
+		}
+	}
+}
+
+func TestPhaserHeterogeneousExit(t *testing.T) {
+	// Participant i performs i+1 phases then returns; the implicit Drop
+	// must keep the remaining participants progressing.
+	const n = 6
+	var total atomic.Int64
+	ForAllPhased(n, func(i int, ph *Phaser) {
+		for p := 0; p <= i; p++ {
+			total.Add(1)
+			ph.Next()
+		}
+	})
+	want := int64(n * (n + 1) / 2)
+	if total.Load() != want {
+		t.Fatalf("total phase-work = %d, want %d", total.Load(), want)
+	}
+}
+
+func TestPhaserNextReturnsPhase(t *testing.T) {
+	ForAllPhased(3, func(i int, ph *Phaser) {
+		if got := ph.Next(); got != 1 {
+			t.Errorf("first Next = %d, want 1", got)
+		}
+		if got := ph.Next(); got != 2 {
+			t.Errorf("second Next = %d, want 2", got)
+		}
+	})
+}
+
+func TestPhaserPhaseAccessor(t *testing.T) {
+	ph := NewPhaser(1)
+	if ph.Phase() != 0 {
+		t.Fatal("initial phase != 0")
+	}
+	ph.Next() // sole participant: advances immediately
+	if ph.Phase() != 1 {
+		t.Fatalf("phase = %d", ph.Phase())
+	}
+}
+
+func TestPhaserSingleParticipantNeverBlocks(t *testing.T) {
+	ForAllPhased(1, func(i int, ph *Phaser) {
+		for p := 0; p < 1000; p++ {
+			ph.Next()
+		}
+	})
+}
+
+func TestForAllPhasedZero(t *testing.T) {
+	ran := false
+	ForAllPhased(0, func(int, *Phaser) { ran = true })
+	if ran {
+		t.Fatal("body ran for n=0")
+	}
+}
+
+func TestNewPhaserPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewPhaser(0)
+}
+
+// TestPhaserPipelineSum uses phases to implement a synchronous parallel
+// prefix sum (the classic phased-forall exercise): log2(n) phases over a
+// shared array.
+func TestPhaserPipelineSum(t *testing.T) {
+	const n = 16
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = int64(i + 1)
+	}
+	next := make([]int64, n)
+	ForAllPhased(n, func(i int, ph *Phaser) {
+		for d := 1; d < n; d *= 2 {
+			v := data[i]
+			if i >= d {
+				v += data[i-d]
+			}
+			next[i] = v
+			ph.Next()
+			data[i] = next[i]
+			ph.Next()
+		}
+	})
+	for i := 0; i < n; i++ {
+		want := int64((i + 1) * (i + 2) / 2)
+		if data[i] != want {
+			t.Fatalf("prefix[%d] = %d, want %d", i, data[i], want)
+		}
+	}
+}

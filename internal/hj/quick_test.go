@@ -1,0 +1,114 @@
+package hj
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickRandomTaskTrees generates random async/finish trees and
+// checks that Finish always joins exactly the spawned set.
+func TestQuickRandomTaskTrees(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 4})
+	defer rt.Shutdown()
+
+	type shape struct {
+		Fanout  uint8
+		Depth   uint8
+		Workers uint8
+	}
+	f := func(s shape) bool {
+		fanout := int(s.Fanout%4) + 1
+		depth := int(s.Depth % 5)
+		var count, expected atomic.Int64
+		// Expected node count of a complete fanout^depth tree.
+		nodes := int64(0)
+		pow := int64(1)
+		for d := 0; d <= depth; d++ {
+			nodes += pow
+			pow *= int64(fanout)
+		}
+		expected.Store(nodes)
+		var spawn func(c *Ctx, d int)
+		spawn = func(c *Ctx, d int) {
+			count.Add(1)
+			if d == 0 {
+				return
+			}
+			for i := 0; i < fanout; i++ {
+				c.Async(func(cc *Ctx) { spawn(cc, d-1) })
+			}
+		}
+		rt.Finish(func(ctx *Ctx) { spawn(ctx, depth) })
+		return count.Load() == expected.Load()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnlockSelective holds several locks and releases a middle one; the
+// others must stay held and ReleaseAllLocks must clean up the rest.
+func TestUnlockSelective(t *testing.T) {
+	withRuntime(t, 1, func(rt *Runtime) {
+		rt.Finish(func(ctx *Ctx) {
+			locks := []*Lock{NewLock(), NewLock(), NewLock()}
+			for _, l := range locks {
+				if !ctx.TryLock(l) {
+					t.Fatal("acquire failed")
+				}
+			}
+			if !ctx.Unlock(locks[1]) {
+				t.Fatal("Unlock reported not-held")
+			}
+			if locks[1].Held() {
+				t.Fatal("middle lock still held")
+			}
+			if !locks[0].Held() || !locks[2].Held() {
+				t.Fatal("neighbors were released")
+			}
+			if ctx.HeldLocks() != 2 {
+				t.Fatalf("HeldLocks = %d", ctx.HeldLocks())
+			}
+			// Unlock on a lock we do not hold reports false.
+			if ctx.Unlock(locks[1]) {
+				t.Fatal("double Unlock succeeded")
+			}
+			ctx.ReleaseAllLocks()
+			for i, l := range locks {
+				if l.Held() {
+					t.Fatalf("lock %d held after ReleaseAllLocks", i)
+				}
+			}
+		})
+	})
+}
+
+// TestUnlockScopedToTask: a helping worker must not be able to unlock an
+// outer task's lock through the shared Ctx.
+func TestUnlockScopedToTask(t *testing.T) {
+	withRuntime(t, 1, func(rt *Runtime) {
+		outer := NewLock()
+		rt.Finish(func(ctx *Ctx) {
+			if !ctx.TryLock(outer) {
+				t.Fatal("outer acquire failed")
+			}
+			// Nested finish forces this worker to help-execute the
+			// inner task on the same Ctx.
+			ctx.Finish(func(c *Ctx) {
+				c.Async(func(cc *Ctx) {
+					if cc.Unlock(outer) {
+						t.Error("inner task unlocked the outer task's lock")
+					}
+					if cc.HeldLocks() != 0 {
+						t.Errorf("inner task sees %d held locks", cc.HeldLocks())
+					}
+				})
+			})
+			if !outer.Held() {
+				t.Error("outer lock lost during nested finish")
+			}
+			ctx.ReleaseAllLocks()
+		})
+	})
+}

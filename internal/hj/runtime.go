@@ -1,0 +1,361 @@
+package hj
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Task is the body of an HJ async task. The Ctx argument identifies the
+// worker the task is running on and carries the task's Immediately
+// Enclosing Finish (IEF); it must not be retained after the task returns.
+type Task func(ctx *Ctx)
+
+// task is the internal spawned-task record: the body plus its IEF.
+type task struct {
+	fn  Task
+	fin *finishScope
+}
+
+// finishScope tracks the outstanding tasks of one dynamic finish instance.
+// count holds the number of registered-but-incomplete tasks (the finish
+// body itself counts as one); when it reaches zero the scope is complete
+// and done is closed for external waiters.
+type finishScope struct {
+	count atomic.Int64
+	done  chan struct{}
+}
+
+func newFinishScope() *finishScope {
+	f := &finishScope{done: make(chan struct{})}
+	f.count.Store(1) // the body
+	return f
+}
+
+func (f *finishScope) register() { f.count.Add(1) }
+
+func (f *finishScope) complete() {
+	if f.count.Add(-1) == 0 {
+		close(f.done)
+	}
+}
+
+func (f *finishScope) finished() bool { return f.count.Load() == 0 }
+
+// Config configures a Runtime.
+type Config struct {
+	// Workers is the number of worker goroutines (HJlib's "number of
+	// workers", typically one per core). Zero means runtime.GOMAXPROCS(0).
+	Workers int
+	// StealTries is the number of random-victim rounds a worker attempts
+	// before parking. Zero means a default proportional to Workers.
+	StealTries int
+	// Seed seeds the per-worker victim selection. Zero means a fixed
+	// default so runs are reproducible.
+	Seed int64
+}
+
+// Runtime is a work-stealing task scheduler: the Go analog of the HJlib
+// runtime. Create one with NewRuntime, submit work with Finish (which
+// blocks until the whole task tree completes), and release the workers
+// with Shutdown.
+type Runtime struct {
+	workers  []*worker
+	injector injectorQueue // tasks submitted from outside worker context
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	idle     int
+	idleHint atomic.Int32 // mirror of idle for lock-free reads by pushers
+	stopped  bool
+
+	globalIso sync.Mutex // backs the object-free Isolated construct
+
+	stats Stats
+}
+
+// injectorQueue is a small mutex-guarded FIFO for externally submitted
+// tasks. It is off the hot path: the DES application submits one root task
+// per simulation.
+type injectorQueue struct {
+	mu    sync.Mutex
+	tasks []*task
+}
+
+func (q *injectorQueue) push(t *task) {
+	q.mu.Lock()
+	q.tasks = append(q.tasks, t)
+	q.mu.Unlock()
+}
+
+func (q *injectorQueue) pop() *task {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.tasks) == 0 {
+		return nil
+	}
+	t := q.tasks[0]
+	q.tasks = q.tasks[1:]
+	return t
+}
+
+func (q *injectorQueue) empty() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.tasks) == 0
+}
+
+// worker is one scheduling loop bound to a wsDeque.
+type worker struct {
+	id    int
+	rt    *Runtime
+	deque *wsDeque
+	rng   *rand.Rand
+	ctx   Ctx
+}
+
+// NewRuntime starts cfg.Workers worker goroutines and returns the runtime.
+func NewRuntime(cfg Config) *Runtime {
+	n := cfg.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x5eed
+	}
+	rt := &Runtime{workers: make([]*worker, n)}
+	rt.cond = sync.NewCond(&rt.mu)
+	rt.stats.stealTries = cfg.StealTries
+	if rt.stats.stealTries <= 0 {
+		rt.stats.stealTries = 2 * n
+	}
+	for i := 0; i < n; i++ {
+		w := &worker{
+			id:    i,
+			rt:    rt,
+			deque: newWSDeque(),
+			rng:   rand.New(rand.NewSource(seed + int64(i)*1664525 + 1013904223)),
+		}
+		w.ctx.worker = w
+		rt.workers[i] = w
+	}
+	for _, w := range rt.workers {
+		go w.run()
+	}
+	return rt
+}
+
+// NumWorkers reports the number of worker goroutines.
+func (rt *Runtime) NumWorkers() int { return len(rt.workers) }
+
+// Finish runs body as the root task of a new finish scope and blocks the
+// calling goroutine until body and every task transitively spawned inside
+// it (via Ctx.Async) have completed. It is the library analog of HJlib's
+//
+//	finish(() -> { body });
+//
+// issued from the main program. Finish may be called repeatedly, but not
+// after Shutdown.
+func (rt *Runtime) Finish(body Task) {
+	fin := newFinishScope()
+	t := &task{fin: fin, fn: body}
+	rt.injector.push(t)
+	rt.stats.Spawns.Add(1)
+	rt.wakeOne()
+	<-fin.done
+}
+
+// Shutdown stops all workers. Outstanding tasks are abandoned; callers
+// should only invoke it after their final Finish has returned. A Runtime
+// cannot be restarted.
+func (rt *Runtime) Shutdown() {
+	rt.mu.Lock()
+	rt.stopped = true
+	rt.cond.Broadcast()
+	rt.mu.Unlock()
+}
+
+// Stats returns a snapshot of scheduler counters.
+func (rt *Runtime) Stats() StatsSnapshot { return rt.stats.snapshot() }
+
+// wakeOne nudges a parked worker if any are idle.
+func (rt *Runtime) wakeOne() {
+	if rt.idleHint.Load() == 0 {
+		return
+	}
+	rt.mu.Lock()
+	rt.cond.Signal()
+	rt.mu.Unlock()
+}
+
+// anyWorkVisible reports whether any deque or the injector appears
+// non-empty. It is used under rt.mu as the final check before parking, so
+// a task pushed before the check is never missed.
+func (rt *Runtime) anyWorkVisible() bool {
+	if !rt.injector.empty() {
+		return true
+	}
+	for _, w := range rt.workers {
+		if w.deque.sizeHint() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// run is the top-level worker loop: execute local work, steal, park.
+func (w *worker) run() {
+	rt := w.rt
+	for {
+		t := w.findWork()
+		if t != nil {
+			w.execute(t)
+			continue
+		}
+		// Park. Re-check for work under the lock so a concurrent Async
+		// cannot slip between our last scan and the wait.
+		rt.mu.Lock()
+		if rt.stopped {
+			rt.mu.Unlock()
+			return
+		}
+		if rt.anyWorkVisible() {
+			rt.mu.Unlock()
+			continue
+		}
+		rt.idle++
+		rt.idleHint.Store(int32(rt.idle))
+		rt.stats.Parks.Add(1)
+		for !rt.stopped && !rt.anyWorkVisible() {
+			rt.cond.Wait()
+		}
+		rt.idle--
+		rt.idleHint.Store(int32(rt.idle))
+		stopped := rt.stopped
+		rt.mu.Unlock()
+		if stopped {
+			return
+		}
+	}
+}
+
+// findWork returns the next task: own deque first (LIFO), then the
+// injector, then random-victim stealing.
+func (w *worker) findWork() *task {
+	if t := w.deque.popBottom(); t != nil {
+		return t
+	}
+	if t := w.rt.injector.pop(); t != nil {
+		return t
+	}
+	n := len(w.rt.workers)
+	if n == 1 {
+		return nil
+	}
+	for attempt := 0; attempt < w.rt.stats.stealTries; attempt++ {
+		victim := w.rt.workers[w.rng.Intn(n)]
+		if victim == w {
+			continue
+		}
+		t, retry := victim.deque.steal()
+		if t != nil {
+			w.rt.stats.Steals.Add(1)
+			return t
+		}
+		if retry {
+			attempt-- // lost a race; that victim still has work
+		}
+	}
+	return nil
+}
+
+// execute runs one task with the worker's Ctx bound to the task's IEF.
+// Lock ownership is scoped to the task: heldBase marks where this task's
+// locks begin in the shared held slice, so a worker helping inside a
+// nested Finish while the outer task holds locks cannot release them.
+func (w *worker) execute(t *task) {
+	prevFin, prevBase := w.ctx.fin, w.ctx.heldBase
+	w.ctx.fin = t.fin
+	w.ctx.heldBase = len(w.ctx.held)
+	t.fn(&w.ctx)
+	// The paper's lock API scopes lock ownership to the async task; a
+	// task that returns while holding locks would poison the whole
+	// simulation, so leaked locks are released here and counted.
+	if leaked := len(w.ctx.held) - w.ctx.heldBase; leaked > 0 {
+		w.rt.stats.LeakedLocks.Add(int64(leaked))
+		w.ctx.ReleaseAllLocks()
+	}
+	w.ctx.fin = prevFin
+	w.ctx.heldBase = prevBase
+	t.fin.complete()
+}
+
+// helpUntil runs tasks (or yields) until the scope completes. It is the
+// help-first join used when a worker blocks at the end of a nested Finish.
+func (w *worker) helpUntil(fin *finishScope) {
+	spins := 0
+	for !fin.finished() {
+		if t := w.findWork(); t != nil {
+			w.execute(t)
+			spins = 0
+			continue
+		}
+		spins++
+		if spins < 8 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(5 * time.Microsecond)
+		}
+	}
+}
+
+// Ctx is the per-worker execution context handed to every Task. It gives
+// access to task spawning (Async), nested joins (Finish), mutual exclusion
+// (Isolated) and the fine-grained lock API (TryLock / ReleaseAllLocks).
+type Ctx struct {
+	worker   *worker
+	fin      *finishScope
+	held     []*Lock // locks held, all tasks on this worker's call stack
+	heldBase int     // index in held where the current task's locks begin
+}
+
+// WorkerID reports the identity of the worker executing the task, in
+// [0, NumWorkers).
+func (c *Ctx) WorkerID() int { return c.worker.id }
+
+// Runtime returns the owning runtime.
+func (c *Ctx) Runtime() *Runtime { return c.worker.rt }
+
+// Async spawns fn as a new child task of the current task's IEF, exactly
+// like HJlib's async(() -> ...). The task is pushed on the calling
+// worker's deque and may run before, after, or in parallel with the
+// remainder of the caller.
+func (c *Ctx) Async(fn Task) {
+	c.fin.register()
+	c.worker.deque.pushBottom(&task{fn: fn, fin: c.fin})
+	c.worker.rt.stats.Spawns.Add(1)
+	c.worker.rt.wakeOne()
+}
+
+// Finish runs body inline under a fresh nested finish scope and blocks
+// until body and all tasks transitively spawned within it complete. While
+// blocked, the worker helps execute pending tasks, so nested Finish never
+// idles a core.
+func (c *Ctx) Finish(body Task) {
+	parent := c.fin
+	fin := newFinishScope()
+	c.fin = fin
+	body(c)
+	fin.complete()
+	c.fin = parent
+	c.worker.helpUntil(fin)
+}
+
+// String implements fmt.Stringer for debugging.
+func (c *Ctx) String() string {
+	return fmt.Sprintf("hj.Ctx{worker=%d, heldLocks=%d}", c.worker.id, len(c.held))
+}

@@ -1,0 +1,254 @@
+package hj
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func withRuntime(t *testing.T, workers int, fn func(rt *Runtime)) {
+	t.Helper()
+	rt := NewRuntime(Config{Workers: workers})
+	defer rt.Shutdown()
+	fn(rt)
+}
+
+func TestFinishRunsBody(t *testing.T) {
+	withRuntime(t, 4, func(rt *Runtime) {
+		ran := false
+		rt.Finish(func(ctx *Ctx) { ran = true })
+		if !ran {
+			t.Fatal("finish body did not run")
+		}
+	})
+}
+
+func TestFinishWaitsForAsyncs(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		withRuntime(t, workers, func(rt *Runtime) {
+			const n = 10000
+			var count atomic.Int64
+			rt.Finish(func(ctx *Ctx) {
+				for i := 0; i < n; i++ {
+					ctx.Async(func(*Ctx) { count.Add(1) })
+				}
+			})
+			if count.Load() != n {
+				t.Fatalf("workers=%d: finish returned with %d/%d tasks done", workers, count.Load(), n)
+			}
+		})
+	}
+}
+
+func TestFinishWaitsForTransitiveAsyncs(t *testing.T) {
+	withRuntime(t, 4, func(rt *Runtime) {
+		var count atomic.Int64
+		var spawn func(ctx *Ctx, depth int)
+		spawn = func(ctx *Ctx, depth int) {
+			count.Add(1)
+			if depth == 0 {
+				return
+			}
+			for i := 0; i < 3; i++ {
+				d := depth - 1
+				ctx.Async(func(c *Ctx) { spawn(c, d) })
+			}
+		}
+		rt.Finish(func(ctx *Ctx) { spawn(ctx, 8) })
+		// A full ternary tree of depth 8 has (3^9-1)/2 nodes.
+		want := int64((19683 - 1) / 2)
+		if count.Load() != want {
+			t.Fatalf("count = %d, want %d", count.Load(), want)
+		}
+	})
+}
+
+func TestNestedFinish(t *testing.T) {
+	withRuntime(t, 4, func(rt *Runtime) {
+		var order []string
+		var inner atomic.Int64
+		rt.Finish(func(ctx *Ctx) {
+			order = append(order, "pre")
+			ctx.Finish(func(c *Ctx) {
+				for i := 0; i < 1000; i++ {
+					c.Async(func(*Ctx) { inner.Add(1) })
+				}
+			})
+			// Every inner task must be complete before the nested
+			// finish returns.
+			if inner.Load() != 1000 {
+				t.Errorf("nested finish returned early: %d/1000", inner.Load())
+			}
+			order = append(order, "post")
+		})
+		if len(order) != 2 || order[0] != "pre" || order[1] != "post" {
+			t.Fatalf("order = %v", order)
+		}
+	})
+}
+
+func TestDeeplyNestedFinish(t *testing.T) {
+	withRuntime(t, 2, func(rt *Runtime) {
+		var depthReached atomic.Int64
+		var nest func(ctx *Ctx, depth int)
+		nest = func(ctx *Ctx, depth int) {
+			if depth == 0 {
+				depthReached.Add(1)
+				return
+			}
+			ctx.Finish(func(c *Ctx) {
+				c.Async(func(cc *Ctx) { nest(cc, depth-1) })
+			})
+		}
+		rt.Finish(func(ctx *Ctx) { nest(ctx, 50) })
+		if depthReached.Load() != 1 {
+			t.Fatalf("deep nesting did not complete: %d", depthReached.Load())
+		}
+	})
+}
+
+func TestSequentialFinishCalls(t *testing.T) {
+	withRuntime(t, 4, func(rt *Runtime) {
+		for round := 0; round < 20; round++ {
+			var count atomic.Int64
+			rt.Finish(func(ctx *Ctx) {
+				for i := 0; i < 100; i++ {
+					ctx.Async(func(*Ctx) { count.Add(1) })
+				}
+			})
+			if count.Load() != 100 {
+				t.Fatalf("round %d: %d/100 tasks", round, count.Load())
+			}
+		}
+	})
+}
+
+func TestSingleWorkerCompletes(t *testing.T) {
+	withRuntime(t, 1, func(rt *Runtime) {
+		var count atomic.Int64
+		rt.Finish(func(ctx *Ctx) {
+			var chain func(c *Ctx, n int)
+			chain = func(c *Ctx, n int) {
+				count.Add(1)
+				if n > 0 {
+					c.Async(func(cc *Ctx) { chain(cc, n-1) })
+				}
+			}
+			chain(ctx, 5000)
+		})
+		if count.Load() != 5001 {
+			t.Fatalf("count = %d, want 5001", count.Load())
+		}
+	})
+}
+
+func TestWorkerIDsInRange(t *testing.T) {
+	withRuntime(t, 4, func(rt *Runtime) {
+		var bad atomic.Int64
+		rt.Finish(func(ctx *Ctx) {
+			for i := 0; i < 1000; i++ {
+				ctx.Async(func(c *Ctx) {
+					if c.WorkerID() < 0 || c.WorkerID() >= 4 {
+						bad.Add(1)
+					}
+					if c.Runtime() != rt {
+						bad.Add(1)
+					}
+				})
+			}
+		})
+		if bad.Load() != 0 {
+			t.Fatalf("%d tasks observed bad worker identity", bad.Load())
+		}
+	})
+}
+
+func TestWorkDistribution(t *testing.T) {
+	// With several workers and many tasks, stealing must spread work:
+	// more than one worker should execute tasks. Each task yields so the
+	// test does not depend on preemption timing on single-CPU machines.
+	withRuntime(t, 4, func(rt *Runtime) {
+		var perWorker [4]atomic.Int64
+		rt.Finish(func(ctx *Ctx) {
+			for i := 0; i < 4000; i++ {
+				ctx.Async(func(c *Ctx) {
+					runtime.Gosched()
+					perWorker[c.WorkerID()].Add(1)
+				})
+			}
+		})
+		active := 0
+		for i := range perWorker {
+			if perWorker[i].Load() > 0 {
+				active++
+			}
+		}
+		if active < 2 {
+			t.Fatalf("only %d workers executed tasks; stealing appears broken", active)
+		}
+		if rt.Stats().Steals == 0 {
+			t.Fatal("no steals recorded")
+		}
+	})
+}
+
+func TestStatsCounters(t *testing.T) {
+	withRuntime(t, 2, func(rt *Runtime) {
+		before := rt.Stats()
+		rt.Finish(func(ctx *Ctx) {
+			for i := 0; i < 50; i++ {
+				ctx.Async(func(*Ctx) {})
+			}
+		})
+		delta := rt.Stats().Sub(before)
+		if delta.Spawns != 51 { // 50 asyncs + 1 root
+			t.Fatalf("Spawns delta = %d, want 51", delta.Spawns)
+		}
+		if delta.LockSuccessRate() != 1 {
+			t.Fatalf("LockSuccessRate with no locks = %v, want 1", delta.LockSuccessRate())
+		}
+	})
+}
+
+func TestShutdownStopsWorkers(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 4})
+	rt.Finish(func(ctx *Ctx) {})
+	rt.Shutdown()
+	// Idempotent.
+	rt.Shutdown()
+}
+
+func TestDefaultWorkerCount(t *testing.T) {
+	rt := NewRuntime(Config{})
+	defer rt.Shutdown()
+	if rt.NumWorkers() < 1 {
+		t.Fatalf("NumWorkers = %d", rt.NumWorkers())
+	}
+}
+
+func BenchmarkAsyncFinishFanOut(b *testing.B) {
+	rt := NewRuntime(Config{})
+	defer rt.Shutdown()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var count atomic.Int64
+		rt.Finish(func(ctx *Ctx) {
+			for j := 0; j < 1000; j++ {
+				ctx.Async(func(*Ctx) { count.Add(1) })
+			}
+		})
+	}
+}
+
+func BenchmarkTaskSpawnOverhead(b *testing.B) {
+	rt := NewRuntime(Config{Workers: 1})
+	defer rt.Shutdown()
+	b.ReportAllocs()
+	b.ResetTimer()
+	rt.Finish(func(ctx *Ctx) {
+		for i := 0; i < b.N; i++ {
+			ctx.Async(func(*Ctx) {})
+		}
+	})
+}

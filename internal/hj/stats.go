@@ -1,0 +1,73 @@
+package hj
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Stats holds the runtime's live scheduler counters. All fields are
+// updated atomically on hot paths; read them through Runtime.Stats.
+type Stats struct {
+	Spawns       atomic.Int64 // tasks created via Async/Finish
+	Steals       atomic.Int64 // successful steals
+	Parks        atomic.Int64 // times a worker parked for lack of work
+	Isolated     atomic.Int64 // isolated sections entered
+	LockAcquires atomic.Int64 // successful TryLock calls
+	LockFailures atomic.Int64 // failed TryLock calls
+	LeakedLocks  atomic.Int64 // locks auto-released at task exit
+
+	stealTries int // configuration, not a counter
+}
+
+// StatsSnapshot is a point-in-time copy of the scheduler counters.
+type StatsSnapshot struct {
+	Spawns       int64
+	Steals       int64
+	Parks        int64
+	Isolated     int64
+	LockAcquires int64
+	LockFailures int64
+	LeakedLocks  int64
+}
+
+func (s *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Spawns:       s.Spawns.Load(),
+		Steals:       s.Steals.Load(),
+		Parks:        s.Parks.Load(),
+		Isolated:     s.Isolated.Load(),
+		LockAcquires: s.LockAcquires.Load(),
+		LockFailures: s.LockFailures.Load(),
+		LeakedLocks:  s.LeakedLocks.Load(),
+	}
+}
+
+// LockSuccessRate returns the fraction of TryLock calls that succeeded,
+// the metric the paper's Section 4.5 optimizations aim to raise.
+func (s StatsSnapshot) LockSuccessRate() float64 {
+	total := s.LockAcquires + s.LockFailures
+	if total == 0 {
+		return 1
+	}
+	return float64(s.LockAcquires) / float64(total)
+}
+
+// String summarizes the snapshot on one line.
+func (s StatsSnapshot) String() string {
+	return fmt.Sprintf("spawns=%d steals=%d parks=%d isolated=%d locks(ok=%d fail=%d leak=%d rate=%.3f)",
+		s.Spawns, s.Steals, s.Parks, s.Isolated,
+		s.LockAcquires, s.LockFailures, s.LeakedLocks, s.LockSuccessRate())
+}
+
+// Sub returns the counter deltas s - prev, for measuring one run.
+func (s StatsSnapshot) Sub(prev StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		Spawns:       s.Spawns - prev.Spawns,
+		Steals:       s.Steals - prev.Steals,
+		Parks:        s.Parks - prev.Parks,
+		Isolated:     s.Isolated - prev.Isolated,
+		LockAcquires: s.LockAcquires - prev.LockAcquires,
+		LockFailures: s.LockFailures - prev.LockFailures,
+		LeakedLocks:  s.LeakedLocks - prev.LeakedLocks,
+	}
+}

@@ -1,0 +1,22 @@
+package netdes_test
+
+import (
+	"fmt"
+
+	"hjdes/internal/netdes"
+)
+
+// Simulate one packet crossing a three-hop line: each hop costs the
+// node's service time plus the link's propagation delay.
+func ExampleSimulate() {
+	nw := netdes.Line(4, 2, 1) // 4 nodes, link delay 2, service 1
+	tr := netdes.Traffic{{Src: 0, Dst: 3, Start: 10, Interval: 1, Count: 1}}
+
+	res, err := netdes.Simulate(nw, tr, netdes.Config{RecordPackets: true})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("delivered=%d hops=%d latency=%d\n",
+		res.Delivered, res.Packets[0].Hops, res.Packets[0].Time-10)
+	// Output: delivered=1 hops=3 latency=9
+}

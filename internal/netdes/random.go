@@ -1,0 +1,61 @@
+package netdes
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomNetwork builds a strongly connected random topology: a
+// bidirectional ring backbone (guaranteeing reachability) plus random
+// chord links until the average out-degree reaches avgDegree. Link
+// delays are uniform in [1, maxDelay]. Deterministic in seed.
+func RandomNetwork(n int, avgDegree float64, maxDelay int64, service int64, seed int64) *Network {
+	if n < 3 {
+		n = 3
+	}
+	if maxDelay < 1 {
+		maxDelay = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nw := NewNetwork(fmt.Sprintf("randomnet-%d-%d", n, seed), n, service)
+	delay := func() int64 { return 1 + rng.Int63n(maxDelay) }
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		must(nw.AddLink(NodeID(i), NodeID(j), delay()))
+		must(nw.AddLink(NodeID(j), NodeID(i), delay()))
+	}
+	target := int(avgDegree * float64(n))
+	for len(nw.Links) < target {
+		a := NodeID(rng.Intn(n))
+		b := NodeID(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		// Duplicate links are allowed (parallel channels); routing picks
+		// the lowest link index among equal-hop choices.
+		must(nw.AddLink(a, b, delay()))
+	}
+	return nw
+}
+
+// RandomTraffic builds flows between random distinct endpoints with
+// randomized starts and intervals. Deterministic in seed.
+func RandomTraffic(nw *Network, flows, packetsPerFlow int, seed int64) Traffic {
+	rng := rand.New(rand.NewSource(seed))
+	tr := make(Traffic, 0, flows)
+	for f := 0; f < flows; f++ {
+		src := NodeID(rng.Intn(nw.N))
+		dst := NodeID(rng.Intn(nw.N))
+		for dst == src {
+			dst = NodeID(rng.Intn(nw.N))
+		}
+		tr = append(tr, Flow{
+			Src:      src,
+			Dst:      dst,
+			Start:    1 + rng.Int63n(20),
+			Interval: 1 + rng.Int63n(5),
+			Count:    packetsPerFlow,
+		})
+	}
+	return tr
+}

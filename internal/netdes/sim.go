@@ -1,0 +1,419 @@
+package netdes
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hjdes/internal/hj"
+	"hjdes/internal/queue"
+)
+
+// Packet is one unit of traffic.
+type Packet struct {
+	ID      int64
+	Src     NodeID
+	Dst     NodeID
+	Created int64
+	Hops    int32
+}
+
+// pktEvent is a packet arriving somewhere at a time.
+type pktEvent struct {
+	Time int64
+	P    Packet
+}
+
+// PacketRecord is the delivery record of one packet (indexed by packet
+// ID in Result.Packets when Config.RecordPackets is set).
+type PacketRecord struct {
+	Delivered bool
+	Time      int64
+	Hops      int32
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Workers > 1 runs the supersteps on an hj work-stealing runtime;
+	// 0 or 1 runs sequentially. Results are identical either way.
+	Workers int
+	// Grain is the ForAsync chunk size for parallel phases (default 8).
+	Grain int
+	// RecordPackets fills Result.Packets with per-packet records.
+	RecordPackets bool
+	// MaxSupersteps aborts runaway simulations (default 1e6).
+	MaxSupersteps int
+}
+
+// Result summarizes a simulation.
+type Result struct {
+	Engine       string
+	Injected     int64
+	Delivered    int64
+	TotalHops    int64
+	LatencySum   int64
+	MaxLatency   int64
+	LastDelivery int64
+	Supersteps   int
+	Events       int64   // node event-processing count (arrivals + injections)
+	NodeEvents   []int64 // per-node processing counts (router utilization)
+	Elapsed      time.Duration
+	Packets      []PacketRecord
+}
+
+// BusiestNodes returns the k nodes that processed the most events, most
+// loaded first — the routers a capacity planner would upgrade first.
+func (r *Result) BusiestNodes(k int) []NodeID {
+	type load struct {
+		id NodeID
+		n  int64
+	}
+	loads := make([]load, 0, len(r.NodeEvents))
+	for i, n := range r.NodeEvents {
+		if n > 0 {
+			loads = append(loads, load{NodeID(i), n})
+		}
+	}
+	sort.Slice(loads, func(a, b int) bool {
+		if loads[a].n != loads[b].n {
+			return loads[a].n > loads[b].n
+		}
+		return loads[a].id < loads[b].id
+	})
+	if len(loads) > k {
+		loads = loads[:k]
+	}
+	out := make([]NodeID, len(loads))
+	for i, l := range loads {
+		out[i] = l.id
+	}
+	return out
+}
+
+// AvgLatency reports mean end-to-end latency.
+func (r *Result) AvgLatency() float64 {
+	if r.Delivered == 0 {
+		return 0
+	}
+	return float64(r.LatencySum) / float64(r.Delivered)
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: delivered %d/%d packets, avg latency %.1f, max %d, %d supersteps, %v",
+		r.Engine, r.Delivered, r.Injected, r.AvgLatency(), r.MaxLatency, r.Supersteps, r.Elapsed)
+}
+
+// injection is one scheduled packet creation at a source node.
+type injection struct {
+	time int64
+	pkt  Packet
+}
+
+// netNode is the runtime state of one router.
+type netNode struct {
+	id      NodeID
+	inQ     []queue.Deque[pktEvent] // one per incoming link
+	clock   []int64                 // per incoming link
+	sched   []injection             // local injections, time-ordered
+	schedAt int
+
+	// outputs of the current superstep, one buffer per outgoing link
+	// (written only by this node).
+	outBuf [][]pktEvent
+
+	// per-node tallies, merged by the driver after the run.
+	delivered  int64
+	hops       int64
+	latencySum int64
+	maxLatency int64
+	lastTime   int64
+	events     int64
+	processed  bool // did this node process anything this superstep
+
+	horizon int64 // local clock after the current processing phase
+}
+
+// sim is one run's state.
+type sim struct {
+	nw     *Network
+	routes [][]int32
+	nodes  []netNode
+	cfg    Config
+	recs   []PacketRecord
+	// busyUntil[li] is link li's earliest next departure (finite
+	// bandwidth); written only by the link's source node.
+	busyUntil []int64
+}
+
+func newSim(nw *Network, tr Traffic, cfg Config) (*sim, error) {
+	nw.finalize()
+	routes := nw.Routes()
+	if err := tr.Validate(nw, routes); err != nil {
+		return nil, err
+	}
+	s := &sim{nw: nw, routes: routes, cfg: cfg, nodes: make([]netNode, nw.N), busyUntil: make([]int64, len(nw.Links))}
+	for i := range s.nodes {
+		n := &s.nodes[i]
+		n.id = NodeID(i)
+		n.inQ = make([]queue.Deque[pktEvent], len(nw.in[i]))
+		n.clock = make([]int64, len(nw.in[i]))
+		n.outBuf = make([][]pktEvent, len(nw.out[i]))
+	}
+	// Assign packet IDs deterministically: flows in order, packets in
+	// sequence; schedules per node sorted by (time, id).
+	var id int64
+	total := tr.TotalPackets()
+	if cfg.RecordPackets {
+		s.recs = make([]PacketRecord, total)
+	}
+	for _, f := range tr {
+		t := f.Start
+		for k := 0; k < f.Count; k++ {
+			s.nodes[f.Src].sched = append(s.nodes[f.Src].sched, injection{
+				time: t,
+				pkt:  Packet{ID: id, Src: f.Src, Dst: f.Dst, Created: t},
+			})
+			id++
+			t += f.Interval
+		}
+	}
+	for i := range s.nodes {
+		sched := s.nodes[i].sched
+		sort.Slice(sched, func(a, b int) bool {
+			if sched[a].time != sched[b].time {
+				return sched[a].time < sched[b].time
+			}
+			return sched[a].pkt.ID < sched[b].pkt.ID
+		})
+	}
+	return s, nil
+}
+
+// localClock is the Chandy–Misra bound: the node may safely process
+// everything up to the minimum over link clocks and the next local
+// injection.
+func (n *netNode) localClock() int64 {
+	clock := TimeInfinity
+	if n.schedAt < len(n.sched) {
+		clock = n.sched[n.schedAt].time
+	}
+	for _, c := range n.clock {
+		if c < clock {
+			clock = c
+		}
+	}
+	return clock
+}
+
+// processPhase runs one node's processing for the superstep: consume all
+// safe events (arrivals and injections) in timestamp order, absorbing or
+// forwarding each.
+func (s *sim) processPhase(n *netNode) {
+	clock := n.localClock()
+	n.processed = false
+	for {
+		// Pick the earliest safe event across inlinks and the schedule;
+		// ties resolve to the lowest inlink, then the schedule, which
+		// keeps execution deterministic.
+		best := -1
+		bestTime := clock
+		for li := range n.inQ {
+			if head, ok := n.inQ[li].Front(); ok && head.Time <= bestTime {
+				if best == -1 || head.Time < bestTime {
+					best = li
+					bestTime = head.Time
+				}
+			}
+		}
+		useSched := false
+		if n.schedAt < len(n.sched) {
+			st := n.sched[n.schedAt].time
+			if st <= bestTime && (best == -1 || st < bestTime) {
+				useSched = true
+				bestTime = st
+			}
+		}
+		var ev pktEvent
+		switch {
+		case useSched:
+			ev = pktEvent{Time: n.sched[n.schedAt].time, P: n.sched[n.schedAt].pkt}
+			n.schedAt++
+		case best >= 0:
+			ev, _ = n.inQ[best].PopFront()
+		default:
+			// Nothing safe left; expose the post-processing horizon for
+			// the delivery phase's clock advancement. The horizon is the
+			// earliest time this node could still emit from: its local
+			// clock capped by any event left queued beyond the clock —
+			// such an event will be forwarded later at time+lookahead,
+			// and the announced bound must not overshoot that.
+			h := n.localClock()
+			for li := range n.inQ {
+				if head, ok := n.inQ[li].Front(); ok && head.Time < h {
+					h = head.Time
+				}
+			}
+			n.horizon = h
+			return
+		}
+		n.events++
+		n.processed = true
+		s.handle(n, ev)
+	}
+}
+
+// handle absorbs or forwards one packet at node n.
+func (s *sim) handle(n *netNode, ev pktEvent) {
+	p := ev.P
+	if p.Dst == n.id {
+		n.delivered++
+		n.hops += int64(p.Hops)
+		lat := ev.Time - p.Created
+		n.latencySum += lat
+		if lat > n.maxLatency {
+			n.maxLatency = lat
+		}
+		if ev.Time > n.lastTime {
+			n.lastTime = ev.Time
+		}
+		if s.recs != nil {
+			s.recs[p.ID] = PacketRecord{Delivered: true, Time: ev.Time, Hops: p.Hops}
+		}
+		return
+	}
+	li := s.routes[n.id][p.Dst]
+	link := s.nw.Links[li]
+	p.Hops++
+	// Departure respects the link's bandwidth: at least TxTime after the
+	// previous departure on this link. Processing order is timestamp
+	// order, so departures stay nondecreasing, and the Chandy–Misra
+	// lower bound (which queueing only ever raises) remains valid.
+	depart := ev.Time + s.nw.Service
+	if link.TxTime > 0 {
+		if s.busyUntil[li] > depart {
+			depart = s.busyUntil[li]
+		}
+		s.busyUntil[li] = depart + link.TxTime
+	}
+	out := pktEvent{Time: depart + link.Delay, P: p}
+	// Locate the link's position among this node's outgoing links.
+	for pos, l := range s.nw.out[n.id] {
+		if l == li {
+			n.outBuf[pos] = append(n.outBuf[pos], out)
+			return
+		}
+	}
+	panic("netdes: route uses a link not owned by the node")
+}
+
+// deliverPhase runs one node's delivery for the superstep: drain every
+// incoming link's buffer (filled by the source in the processing phase)
+// and advance each link clock to the source's guaranteed lower bound —
+// the superstep analog of a Chandy–Misra null message.
+func (s *sim) deliverPhase(n *netNode) {
+	for pos, li := range s.nw.in[n.id] {
+		link := s.nw.Links[li]
+		src := &s.nodes[link.From]
+		// Find the buffer position of li at the source.
+		for spos, sl := range s.nw.out[link.From] {
+			if sl != li {
+				continue
+			}
+			for _, ev := range src.outBuf[spos] {
+				n.inQ[pos].PushBack(ev)
+			}
+			break
+		}
+		if src.horizon == TimeInfinity {
+			n.clock[pos] = TimeInfinity
+		} else if bound := src.horizon + s.nw.Service + link.Delay; bound > n.clock[pos] {
+			n.clock[pos] = bound
+		}
+	}
+}
+
+// clearBuffers resets every node's output buffers after delivery.
+func (n *netNode) clearBuffers() {
+	for i := range n.outBuf {
+		n.outBuf[i] = n.outBuf[i][:0]
+	}
+}
+
+// Simulate runs the traffic over the network to completion and returns
+// the summary. Results are identical for every worker count.
+func Simulate(nw *Network, tr Traffic, cfg Config) (*Result, error) {
+	start := time.Now()
+	s, err := newSim(nw, tr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	maxSteps := cfg.MaxSupersteps
+	if maxSteps <= 0 {
+		maxSteps = 1_000_000
+	}
+	grain := cfg.Grain
+	if grain <= 0 {
+		grain = 8
+	}
+	total := int64(tr.TotalPackets())
+
+	engine := "netdes-seq"
+	var rt *hj.Runtime
+	if cfg.Workers > 1 {
+		engine = fmt.Sprintf("netdes-hj(%d)", cfg.Workers)
+		rt = hj.NewRuntime(hj.Config{Workers: cfg.Workers})
+		defer rt.Shutdown()
+	}
+
+	n := len(s.nodes)
+	steps := 0
+	for delivered := int64(0); delivered < total; steps++ {
+		if steps >= maxSteps {
+			return nil, fmt.Errorf("netdes: no convergence after %d supersteps (%d/%d delivered)", steps, delivered, total)
+		}
+		if rt != nil {
+			rt.Finish(func(ctx *hj.Ctx) {
+				ctx.ForAsync(n, grain, func(_ *hj.Ctx, i int) { s.processPhase(&s.nodes[i]) })
+			})
+			rt.Finish(func(ctx *hj.Ctx) {
+				ctx.ForAsync(n, grain, func(_ *hj.Ctx, i int) { s.deliverPhase(&s.nodes[i]) })
+			})
+		} else {
+			for i := range s.nodes {
+				s.processPhase(&s.nodes[i])
+			}
+			for i := range s.nodes {
+				s.deliverPhase(&s.nodes[i])
+			}
+		}
+		delivered = 0
+		for i := range s.nodes {
+			s.nodes[i].clearBuffers()
+			delivered += s.nodes[i].delivered
+		}
+	}
+
+	res := &Result{
+		Engine:     engine,
+		Injected:   total,
+		Supersteps: steps,
+		Elapsed:    time.Since(start),
+		Packets:    s.recs,
+		NodeEvents: make([]int64, len(s.nodes)),
+	}
+	for i := range s.nodes {
+		nd := &s.nodes[i]
+		res.Delivered += nd.delivered
+		res.TotalHops += nd.hops
+		res.LatencySum += nd.latencySum
+		res.Events += nd.events
+		res.NodeEvents[i] = nd.events
+		if nd.maxLatency > res.MaxLatency {
+			res.MaxLatency = nd.maxLatency
+		}
+		if nd.lastTime > res.LastDelivery {
+			res.LastDelivery = nd.lastTime
+		}
+	}
+	return res, nil
+}

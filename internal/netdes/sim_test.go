@@ -1,0 +1,416 @@
+package netdes
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoutesOnLine(t *testing.T) {
+	nw := Line(4, 1, 1) // 0-1-2-3
+	routes := nw.Routes()
+	// From 0 to 3: first hop must be the 0->1 link.
+	li := routes[0][3]
+	if li < 0 {
+		t.Fatal("0 cannot reach 3")
+	}
+	l := nw.Links[li]
+	if l.From != 0 || l.To != 1 {
+		t.Fatalf("first hop 0->3 is %d->%d, want 0->1", l.From, l.To)
+	}
+	// Self route is -1 by construction? routes[i][i] has next -1 is fine:
+	// dist 0, no hop needed.
+	if routes[2][2] >= 0 {
+		t.Fatalf("routes[2][2] = %d, want -1 (already there)", routes[2][2])
+	}
+}
+
+func TestRoutesUnreachable(t *testing.T) {
+	nw := NewNetwork("disc", 3, 1)
+	must(nw.AddLink(0, 1, 1)) // node 2 isolated; and 1 cannot reach 0
+	routes := nw.Routes()
+	if routes[0][2] != -1 || routes[1][0] != -1 {
+		t.Fatal("unreachable pairs should be -1")
+	}
+	tr := Traffic{{Src: 0, Dst: 2, Start: 1, Interval: 1, Count: 1}}
+	if err := tr.Validate(nw, routes); err == nil {
+		t.Fatal("Validate accepted unreachable flow")
+	}
+}
+
+func TestAddLinkValidation(t *testing.T) {
+	nw := NewNetwork("v", 2, 1)
+	if err := nw.AddLink(0, 5, 1); err == nil {
+		t.Fatal("out-of-range link accepted")
+	}
+	if err := nw.AddLink(1, 1, 1); err == nil {
+		t.Fatal("self-link accepted")
+	}
+	if err := nw.AddLink(0, 1, -3); err != nil {
+		t.Fatal("delay should be clamped, not rejected")
+	}
+	if nw.Links[0].Delay != 1 {
+		t.Fatalf("delay clamped to %d, want 1", nw.Links[0].Delay)
+	}
+}
+
+func TestTrafficValidate(t *testing.T) {
+	nw := Line(3, 1, 1)
+	routes := nw.Routes()
+	bad := []Traffic{
+		{{Src: 0, Dst: 9, Start: 1, Interval: 1, Count: 1}},
+		{{Src: 1, Dst: 1, Start: 1, Interval: 1, Count: 1}},
+		{{Src: 0, Dst: 2, Start: 1, Interval: 0, Count: 5}},
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(nw, routes); err == nil {
+			t.Errorf("bad traffic %d accepted", i)
+		}
+	}
+	good := Traffic{{Src: 0, Dst: 2, Start: 1, Interval: 5, Count: 3}}
+	if err := good.Validate(nw, routes); err != nil {
+		t.Errorf("good traffic rejected: %v", err)
+	}
+	if good.TotalPackets() != 3 {
+		t.Errorf("TotalPackets = %d", good.TotalPackets())
+	}
+}
+
+// TestSinglePacketLatencyExact: one packet across a line of h hops has
+// latency exactly h*(service+linkDelay).
+func TestSinglePacketLatencyExact(t *testing.T) {
+	const service, delay = 2, 3
+	for hops := 1; hops <= 5; hops++ {
+		nw := Line(hops+1, delay, service)
+		tr := Traffic{{Src: 0, Dst: NodeID(hops), Start: 10, Interval: 1, Count: 1}}
+		res, err := Simulate(nw, tr, Config{RecordPackets: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Delivered != 1 {
+			t.Fatalf("hops=%d: delivered %d", hops, res.Delivered)
+		}
+		want := int64(hops) * (service + delay)
+		if res.MaxLatency != want {
+			t.Fatalf("hops=%d: latency %d, want %d", hops, res.MaxLatency, want)
+		}
+		if res.Packets[0].Hops != int32(hops) {
+			t.Fatalf("hops recorded %d, want %d", res.Packets[0].Hops, hops)
+		}
+		if res.LastDelivery != 10+want {
+			t.Fatalf("delivery time %d, want %d", res.LastDelivery, 10+want)
+		}
+	}
+}
+
+// TestRingCyclicTopologyTerminates: conservative simulation over a cycle
+// must make progress via the lookahead bounds.
+func TestRingCyclicTopologyTerminates(t *testing.T) {
+	nw := Ring(8, 1, 1)
+	tr := Traffic{
+		{Src: 0, Dst: 4, Start: 1, Interval: 3, Count: 50},
+		{Src: 4, Dst: 0, Start: 2, Interval: 3, Count: 50},
+		{Src: 2, Dst: 7, Start: 1, Interval: 5, Count: 20},
+	}
+	res, err := Simulate(nw, tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != int64(tr.TotalPackets()) {
+		t.Fatalf("delivered %d/%d", res.Delivered, tr.TotalPackets())
+	}
+	// Minimum-hop routing on a ring of 8: 0->4 is 4 hops either way.
+	if res.TotalHops < int64(tr.TotalPackets()) {
+		t.Fatalf("TotalHops = %d implausible", res.TotalHops)
+	}
+}
+
+// TestConservation: every injected packet is delivered exactly once, on
+// every topology and worker count.
+func TestConservation(t *testing.T) {
+	topologies := []*Network{
+		Line(6, 2, 1),
+		Ring(9, 1, 2),
+		Grid(4, 4, 1, 1),
+		Star(7, 3, 1),
+	}
+	tr := Traffic{
+		{Src: 0, Dst: 5, Start: 1, Interval: 2, Count: 40},
+		{Src: 5, Dst: 1, Start: 3, Interval: 3, Count: 30},
+		{Src: 2, Dst: 4, Start: 1, Interval: 1, Count: 60},
+	}
+	for _, nw := range topologies {
+		for _, workers := range []int{1, 4} {
+			res, err := Simulate(nw, tr, Config{Workers: workers, RecordPackets: true})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", nw.Name, workers, err)
+			}
+			if res.Delivered != int64(tr.TotalPackets()) {
+				t.Fatalf("%s workers=%d: delivered %d/%d", nw.Name, workers, res.Delivered, tr.TotalPackets())
+			}
+			for id, rec := range res.Packets {
+				if !rec.Delivered {
+					t.Fatalf("%s: packet %d lost", nw.Name, id)
+				}
+			}
+		}
+	}
+}
+
+// TestSequentialAndParallelIdentical: per-packet delivery records must
+// be bit-identical across worker counts.
+func TestSequentialAndParallelIdentical(t *testing.T) {
+	nw := Grid(5, 5, 2, 1)
+	tr := Traffic{
+		{Src: 0, Dst: 24, Start: 1, Interval: 1, Count: 100},
+		{Src: 24, Dst: 0, Start: 1, Interval: 1, Count: 100},
+		{Src: 4, Dst: 20, Start: 5, Interval: 2, Count: 50},
+		{Src: 12, Dst: 3, Start: 2, Interval: 7, Count: 25},
+	}
+	ref, err := Simulate(nw, tr, Config{Workers: 1, RecordPackets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		res, err := Simulate(nw, tr, Config{Workers: workers, RecordPackets: true})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(ref.Packets, res.Packets) {
+			t.Fatalf("workers=%d: per-packet records differ", workers)
+		}
+		if ref.Events != res.Events || ref.LatencySum != res.LatencySum ||
+			ref.TotalHops != res.TotalHops || ref.LastDelivery != res.LastDelivery {
+			t.Fatalf("workers=%d: aggregates differ: %+v vs %+v", workers, ref, res)
+		}
+	}
+}
+
+// TestPropertyLatencyLowerBound: latency of every delivered packet is at
+// least hops * (service + min link delay).
+func TestPropertyLatencyLowerBound(t *testing.T) {
+	f := func(seed uint8, count uint8) bool {
+		nw := Grid(3, 3, 1+int64(seed%3), 1+int64(seed%2))
+		src := NodeID(seed % 9)
+		dst := NodeID((seed + 4) % 9)
+		if src == dst {
+			return true
+		}
+		tr := Traffic{{Src: src, Dst: dst, Start: 1, Interval: 2, Count: int(count%20) + 1}}
+		res, err := Simulate(nw, tr, Config{RecordPackets: true})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		minHop := int64(1 + nw.Links[0].Delay) // service + delay (uniform here)
+		_ = minHop
+		for _, rec := range res.Packets {
+			if !rec.Delivered {
+				return false
+			}
+			if int64(rec.Hops)*(nw.Service+nw.Links[0].Delay) > res.MaxLatency && res.Delivered == 1 {
+				return false
+			}
+		}
+		return res.Delivered == int64(tr.TotalPackets())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomNetworkDeterministicAndConnected(t *testing.T) {
+	a := RandomNetwork(20, 3, 4, 1, 9)
+	b := RandomNetwork(20, 3, 4, 1, 9)
+	if len(a.Links) != len(b.Links) {
+		t.Fatal("same seed produced different networks")
+	}
+	for i := range a.Links {
+		if a.Links[i] != b.Links[i] {
+			t.Fatal("same seed produced different links")
+		}
+	}
+	// The ring backbone guarantees full reachability.
+	routes := a.Routes()
+	for s := 0; s < a.N; s++ {
+		for d := 0; d < a.N; d++ {
+			if s != d && routes[s][d] < 0 {
+				t.Fatalf("node %d cannot reach %d", s, d)
+			}
+		}
+	}
+}
+
+func TestRandomTrafficRunsOnRandomNetwork(t *testing.T) {
+	nw := RandomNetwork(16, 3, 3, 1, 5)
+	tr := RandomTraffic(nw, 10, 20, 6)
+	if tr.TotalPackets() != 200 {
+		t.Fatalf("TotalPackets = %d", tr.TotalPackets())
+	}
+	ref, err := Simulate(nw, tr, Config{Workers: 1, RecordPackets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Simulate(nw, tr, Config{Workers: 4, RecordPackets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Delivered != 200 || par.Delivered != 200 {
+		t.Fatalf("delivered %d / %d", ref.Delivered, par.Delivered)
+	}
+	if !reflect.DeepEqual(ref.Packets, par.Packets) {
+		t.Fatal("records differ across worker counts on random network")
+	}
+}
+
+// TestLinkBandwidthQueueing: a burst through one finite-bandwidth link
+// serializes — the k-th packet's latency grows by k*TxTime.
+func TestLinkBandwidthQueueing(t *testing.T) {
+	const txTime, delay, service = 7, 2, 1
+	nw := NewNetwork("pipe", 2, service)
+	must(nw.AddLinkTx(0, 1, delay, txTime))
+	const burst = 10
+	// All packets injected at the same instant.
+	tr := Traffic{}
+	for i := 0; i < burst; i++ {
+		tr = append(tr, Flow{Src: 0, Dst: 1, Start: 5, Interval: 1, Count: 1})
+	}
+	res, err := Simulate(nw, tr, Config{RecordPackets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != burst {
+		t.Fatalf("delivered %d", res.Delivered)
+	}
+	// Packet k departs at 5+service+k*txTime, arrives +delay.
+	for k := 0; k < burst; k++ {
+		want := int64(5 + service + k*txTime + delay)
+		if res.Packets[k].Time != want {
+			t.Fatalf("packet %d delivered at %d, want %d", k, res.Packets[k].Time, want)
+		}
+	}
+	// Infinite bandwidth: all arrive together.
+	nw2 := NewNetwork("pipe2", 2, service)
+	must(nw2.AddLink(0, 1, delay))
+	res2, err := Simulate(nw2, tr, Config{RecordPackets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < burst; k++ {
+		if res2.Packets[k].Time != int64(5+service+delay) {
+			t.Fatalf("uncapped packet %d at %d", k, res2.Packets[k].Time)
+		}
+	}
+}
+
+// TestBandwidthDeterministicParallel: queueing state must not break the
+// parallel engine's determinism.
+func TestBandwidthDeterministicParallel(t *testing.T) {
+	nw := NewNetwork("bw", 4, 1)
+	must(nw.AddLinkTx(0, 1, 2, 3))
+	must(nw.AddLinkTx(1, 2, 2, 3))
+	must(nw.AddLinkTx(2, 3, 2, 3))
+	must(nw.AddLinkTx(3, 0, 2, 3)) // cycle with bandwidth
+	must(nw.AddLinkTx(1, 0, 2, 3))
+	must(nw.AddLinkTx(2, 1, 2, 3))
+	must(nw.AddLinkTx(3, 2, 2, 3))
+	must(nw.AddLinkTx(0, 3, 2, 3))
+	tr := Traffic{
+		{Src: 0, Dst: 2, Start: 1, Interval: 1, Count: 50},
+		{Src: 2, Dst: 0, Start: 1, Interval: 1, Count: 50},
+	}
+	ref, err := Simulate(nw, tr, Config{Workers: 1, RecordPackets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Simulate(nw, tr, Config{Workers: 4, RecordPackets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref.Packets, par.Packets) {
+		t.Fatal("bandwidth queueing broke worker determinism")
+	}
+	if ref.MaxLatency <= 2*(1+2) {
+		t.Fatalf("no queueing observed: max latency %d", ref.MaxLatency)
+	}
+}
+
+func TestEmptyTraffic(t *testing.T) {
+	res, err := Simulate(Ring(4, 1, 1), nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 0 || res.Supersteps != 0 {
+		t.Fatalf("empty traffic: %+v", res)
+	}
+	if res.AvgLatency() != 0 {
+		t.Fatal("AvgLatency on empty result")
+	}
+}
+
+func TestMaxSuperstepsGuard(t *testing.T) {
+	nw := Line(40, 5, 5)
+	tr := Traffic{{Src: 0, Dst: 39, Start: 1, Interval: 1, Count: 1}}
+	// Absurdly low cap must trip the guard, not hang.
+	if _, err := Simulate(nw, tr, Config{MaxSupersteps: 1}); err == nil {
+		t.Fatal("superstep guard did not trip")
+	}
+}
+
+func TestBusiestNodes(t *testing.T) {
+	// Star topology: every packet transits the hub, which must dominate.
+	nw := Star(6, 1, 1)
+	tr := Traffic{
+		{Src: 1, Dst: 4, Start: 1, Interval: 1, Count: 30},
+		{Src: 2, Dst: 5, Start: 1, Interval: 1, Count: 30},
+		{Src: 3, Dst: 6, Start: 1, Interval: 1, Count: 30},
+	}
+	res, err := Simulate(nw, tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	busiest := res.BusiestNodes(3)
+	if len(busiest) != 3 || busiest[0] != 0 {
+		t.Fatalf("busiest = %v, want hub (node 0) first", busiest)
+	}
+	var sum int64
+	for _, n := range res.NodeEvents {
+		sum += n
+	}
+	if sum != res.Events {
+		t.Fatalf("NodeEvents sum %d != Events %d", sum, res.Events)
+	}
+	if got := res.BusiestNodes(100); len(got) > nw.N {
+		t.Fatalf("BusiestNodes returned %d ids", len(got))
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res, err := Simulate(Line(3, 1, 1), Traffic{{Src: 0, Dst: 2, Start: 1, Interval: 1, Count: 2}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func BenchmarkGridTraffic(b *testing.B) {
+	nw := Grid(8, 8, 1, 1)
+	tr := Traffic{
+		{Src: 0, Dst: 63, Start: 1, Interval: 1, Count: 500},
+		{Src: 63, Dst: 0, Start: 1, Interval: 1, Count: 500},
+		{Src: 7, Dst: 56, Start: 1, Interval: 1, Count: 500},
+		{Src: 56, Dst: 7, Start: 1, Interval: 1, Count: 500},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(nw, tr, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Delivered != 2000 {
+			b.Fatalf("delivered %d", res.Delivered)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package queue
+
+import "sync"
+
+// ConcurrentHeap is a mutex-guarded priority queue safe for concurrent use.
+// Section 4.3 of the paper discusses (and rejects) the design where every
+// node owns a concurrent priority queue instead of taking per-node locks for
+// the whole run of event processing; this type exists so the trade-off can
+// be measured (see the BenchmarkAblation* targets).
+type ConcurrentHeap[T any] struct {
+	mu sync.Mutex
+	h  Heap[T]
+}
+
+// NewConcurrentHeap returns an empty concurrent heap ordered by less.
+func NewConcurrentHeap[T any](less func(a, b T) bool) *ConcurrentHeap[T] {
+	return &ConcurrentHeap[T]{h: Heap[T]{less: less}}
+}
+
+// Push inserts x.
+func (c *ConcurrentHeap[T]) Push(x T) {
+	c.mu.Lock()
+	c.h.Push(x)
+	c.mu.Unlock()
+}
+
+// Pop removes and returns the minimum element, reporting false when empty.
+func (c *ConcurrentHeap[T]) Pop() (T, bool) {
+	c.mu.Lock()
+	x, ok := c.h.Pop()
+	c.mu.Unlock()
+	return x, ok
+}
+
+// Peek returns the minimum element without removing it.
+func (c *ConcurrentHeap[T]) Peek() (T, bool) {
+	c.mu.Lock()
+	x, ok := c.h.Peek()
+	c.mu.Unlock()
+	return x, ok
+}
+
+// PopIf atomically removes and returns the minimum element when pred
+// accepts it. It reports false when the heap is empty or pred rejects the
+// minimum. This is the primitive a lock-free-style DES node needs to pull
+// only ready events (timestamp <= local clock) without holding a lock
+// across the whole processing run.
+func (c *ConcurrentHeap[T]) PopIf(pred func(T) bool) (T, bool) {
+	var zero T
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	top, ok := c.h.Peek()
+	if !ok || !pred(top) {
+		return zero, false
+	}
+	x, _ := c.h.Pop()
+	return x, true
+}
+
+// Len reports the number of elements.
+func (c *ConcurrentHeap[T]) Len() int {
+	c.mu.Lock()
+	n := c.h.Len()
+	c.mu.Unlock()
+	return n
+}

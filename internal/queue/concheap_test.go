@@ -1,0 +1,114 @@
+package queue
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestConcurrentHeapSequential(t *testing.T) {
+	h := NewConcurrentHeap(intLess)
+	for _, v := range []int{5, 1, 4, 2, 3} {
+		h.Push(v)
+	}
+	if h.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", h.Len())
+	}
+	for want := 1; want <= 5; want++ {
+		if v, ok := h.Pop(); !ok || v != want {
+			t.Fatalf("Pop = %d, %v; want %d", v, ok, want)
+		}
+	}
+	if _, ok := h.Pop(); ok {
+		t.Fatal("Pop on empty reported ok")
+	}
+}
+
+func TestConcurrentHeapPopIf(t *testing.T) {
+	h := NewConcurrentHeap(intLess)
+	h.Push(10)
+	h.Push(20)
+	if _, ok := h.PopIf(func(v int) bool { return v < 10 }); ok {
+		t.Fatal("PopIf accepted a rejected minimum")
+	}
+	if h.Len() != 2 {
+		t.Fatal("PopIf with false pred must not remove")
+	}
+	if v, ok := h.PopIf(func(v int) bool { return v <= 10 }); !ok || v != 10 {
+		t.Fatalf("PopIf = %d, %v; want 10, true", v, ok)
+	}
+	if v, ok := h.Peek(); !ok || v != 20 {
+		t.Fatalf("Peek after PopIf = %d, %v", v, ok)
+	}
+}
+
+// TestConcurrentHeapParallelSum hammers the heap with concurrent producers
+// and consumers and verifies no element is lost or duplicated.
+func TestConcurrentHeapParallelSum(t *testing.T) {
+	const producers, perProducer = 8, 2000
+	h := NewConcurrentHeap(intLess)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				h.Push(p*perProducer + i)
+			}
+		}(p)
+	}
+	var popped atomic.Int64
+	var sum atomic.Int64
+	var cwg sync.WaitGroup
+	done := make(chan struct{})
+	for c := 0; c < 4; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				if v, ok := h.Pop(); ok {
+					popped.Add(1)
+					sum.Add(int64(v))
+					continue
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	cwg.Wait()
+	// Drain stragglers.
+	for {
+		v, ok := h.Pop()
+		if !ok {
+			break
+		}
+		popped.Add(1)
+		sum.Add(int64(v))
+	}
+	total := int64(producers * perProducer)
+	if popped.Load() != total {
+		t.Fatalf("popped %d items, want %d", popped.Load(), total)
+	}
+	wantSum := total * (total - 1) / 2
+	if sum.Load() != wantSum {
+		t.Fatalf("sum = %d, want %d", sum.Load(), wantSum)
+	}
+}
+
+func BenchmarkConcurrentHeapContended(b *testing.B) {
+	h := NewConcurrentHeap(intLess)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h.Push(i)
+			h.Pop()
+			i++
+		}
+	})
+}

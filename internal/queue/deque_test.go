@@ -1,0 +1,266 @@
+package queue
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDequeZeroValue(t *testing.T) {
+	var d Deque[int]
+	if !d.Empty() || d.Len() != 0 {
+		t.Fatalf("zero deque: Empty=%v Len=%d", d.Empty(), d.Len())
+	}
+	if _, ok := d.PopFront(); ok {
+		t.Fatal("PopFront on empty deque reported ok")
+	}
+	if _, ok := d.PopBack(); ok {
+		t.Fatal("PopBack on empty deque reported ok")
+	}
+	if _, ok := d.Front(); ok {
+		t.Fatal("Front on empty deque reported ok")
+	}
+	if _, ok := d.Back(); ok {
+		t.Fatal("Back on empty deque reported ok")
+	}
+	d.PushBack(42)
+	if v, ok := d.PopFront(); !ok || v != 42 {
+		t.Fatalf("PopFront = %d, %v; want 42, true", v, ok)
+	}
+}
+
+func TestDequeFIFO(t *testing.T) {
+	d := NewDeque[int](4)
+	for i := 0; i < 100; i++ {
+		d.PushBack(i)
+	}
+	if d.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", d.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := d.PopFront()
+		if !ok || v != i {
+			t.Fatalf("PopFront #%d = %d, %v", i, v, ok)
+		}
+	}
+	if !d.Empty() {
+		t.Fatal("deque not empty after draining")
+	}
+}
+
+func TestDequeLIFO(t *testing.T) {
+	var d Deque[int]
+	for i := 0; i < 100; i++ {
+		d.PushBack(i)
+	}
+	for i := 99; i >= 0; i-- {
+		v, ok := d.PopBack()
+		if !ok || v != i {
+			t.Fatalf("PopBack = %d, %v; want %d", v, ok, i)
+		}
+	}
+}
+
+func TestDequePushFront(t *testing.T) {
+	var d Deque[int]
+	for i := 0; i < 50; i++ {
+		d.PushFront(i)
+	}
+	for i := 49; i >= 0; i-- {
+		v, ok := d.PopFront()
+		if !ok || v != i {
+			t.Fatalf("PopFront = %d, %v; want %d", v, ok, i)
+		}
+	}
+}
+
+func TestDequeWrapAround(t *testing.T) {
+	d := NewDeque[int](8)
+	// Force head to rotate through the ring repeatedly.
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 5; i++ {
+			d.PushBack(round*10 + i)
+		}
+		for i := 0; i < 5; i++ {
+			v, ok := d.PopFront()
+			if !ok || v != round*10+i {
+				t.Fatalf("round %d: PopFront = %d, %v", round, v, ok)
+			}
+		}
+	}
+	if d.Cap() != 8 {
+		t.Fatalf("deque grew to %d while never holding more than 5 items", d.Cap())
+	}
+}
+
+func TestDequeGrowPreservesOrder(t *testing.T) {
+	d := NewDeque[int](8)
+	// Rotate the head, then grow mid-ring.
+	for i := 0; i < 6; i++ {
+		d.PushBack(i)
+	}
+	for i := 0; i < 6; i++ {
+		d.PopFront()
+	}
+	for i := 0; i < 40; i++ {
+		d.PushBack(i)
+	}
+	for i := 0; i < 40; i++ {
+		v, _ := d.PopFront()
+		if v != i {
+			t.Fatalf("after grow, element %d = %d", i, v)
+		}
+	}
+}
+
+func TestDequeAt(t *testing.T) {
+	var d Deque[string]
+	d.PushBack("a")
+	d.PushBack("b")
+	d.PushFront("z")
+	want := []string{"z", "a", "b"}
+	for i, w := range want {
+		if got := d.At(i); got != w {
+			t.Errorf("At(%d) = %q, want %q", i, got, w)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("At out of range did not panic")
+		}
+	}()
+	d.At(3)
+}
+
+func TestDequeClearAndReuse(t *testing.T) {
+	var d Deque[int]
+	for i := 0; i < 20; i++ {
+		d.PushBack(i)
+	}
+	c := d.Cap()
+	d.Clear()
+	if !d.Empty() || d.Cap() != c {
+		t.Fatalf("Clear: Empty=%v Cap=%d want empty with cap %d", d.Empty(), d.Cap(), c)
+	}
+	d.PushBack(7)
+	if v, _ := d.PopFront(); v != 7 {
+		t.Fatal("reuse after Clear failed")
+	}
+}
+
+func TestDequeSliceAndDo(t *testing.T) {
+	var d Deque[int]
+	for i := 0; i < 10; i++ {
+		d.PushBack(i * i)
+	}
+	s := d.Slice()
+	var viaDo []int
+	d.Do(func(x int) { viaDo = append(viaDo, x) })
+	if len(s) != 10 || len(viaDo) != 10 {
+		t.Fatalf("Slice len %d, Do len %d", len(s), len(viaDo))
+	}
+	for i := range s {
+		if s[i] != i*i || viaDo[i] != i*i {
+			t.Fatalf("element %d: Slice=%d Do=%d want %d", i, s[i], viaDo[i], i*i)
+		}
+	}
+}
+
+// dequeOp encodes one operation for the model-based property test.
+type dequeOp struct {
+	Kind byte // 0 PushBack, 1 PushFront, 2 PopFront, 3 PopBack
+	Val  int
+}
+
+// TestDequeMatchesSliceModel drives the deque and a slice model with the
+// same random operation sequences and requires identical observable
+// behaviour.
+func TestDequeMatchesSliceModel(t *testing.T) {
+	f := func(ops []dequeOp) bool {
+		var d Deque[int]
+		var model []int
+		for _, op := range ops {
+			switch op.Kind % 4 {
+			case 0:
+				d.PushBack(op.Val)
+				model = append(model, op.Val)
+			case 1:
+				d.PushFront(op.Val)
+				model = append([]int{op.Val}, model...)
+			case 2:
+				v, ok := d.PopFront()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			case 3:
+				v, ok := d.PopBack()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != model[len(model)-1] {
+						return false
+					}
+					model = model[:len(model)-1]
+				}
+			}
+			if d.Len() != len(model) {
+				return false
+			}
+		}
+		s := d.Slice()
+		if len(s) != len(model) {
+			return false
+		}
+		for i := range s {
+			if s[i] != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewDequeCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, minDequeCap}, {1, minDequeCap}, {8, 8}, {9, 16}, {100, 128},
+	} {
+		d := NewDeque[int](tc.ask)
+		if d.Cap() != tc.want {
+			t.Errorf("NewDeque(%d).Cap() = %d, want %d", tc.ask, d.Cap(), tc.want)
+		}
+	}
+}
+
+func BenchmarkDequePushPop(b *testing.B) {
+	var d Deque[int]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.PushBack(i)
+		d.PopFront()
+	}
+}
+
+func BenchmarkDequeRandomOps(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var d Deque[int]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if rng.Intn(3) != 0 || d.Empty() {
+			d.PushBack(i)
+		} else {
+			d.PopFront()
+		}
+	}
+}

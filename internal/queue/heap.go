@@ -1,0 +1,104 @@
+package queue
+
+// Heap is a binary min-heap ordered by a user-supplied less function — the
+// analog of java.util.PriorityQueue that the Galois-Java DES implementation
+// uses for per-node event queues. The paper attributes roughly half of the
+// Galois version's slowdown to this choice (Section 5), so the heap is kept
+// faithful: array-backed, sift-up on push, sift-down on pop.
+type Heap[T any] struct {
+	items []T
+	less  func(a, b T) bool
+}
+
+// NewHeap returns an empty heap ordered by less.
+func NewHeap[T any](less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{less: less}
+}
+
+// NewHeapFrom heapifies items in O(n) and returns the heap. The slice is
+// taken over by the heap and must not be reused by the caller.
+func NewHeapFrom[T any](less func(a, b T) bool, items []T) *Heap[T] {
+	h := &Heap[T]{items: items, less: less}
+	for i := len(items)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+	return h
+}
+
+// Len reports the number of elements in the heap.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Empty reports whether the heap has no elements.
+func (h *Heap[T]) Empty() bool { return len(h.items) == 0 }
+
+// Push inserts x.
+func (h *Heap[T]) Push(x T) {
+	h.items = append(h.items, x)
+	h.siftUp(len(h.items) - 1)
+}
+
+// Pop removes and returns the minimum element. The second result is false
+// when the heap is empty.
+func (h *Heap[T]) Pop() (T, bool) {
+	var zero T
+	if len(h.items) == 0 {
+		return zero, false
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items[last] = zero
+	h.items = h.items[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return top, true
+}
+
+// Peek returns the minimum element without removing it.
+func (h *Heap[T]) Peek() (T, bool) {
+	var zero T
+	if len(h.items) == 0 {
+		return zero, false
+	}
+	return h.items[0], true
+}
+
+// Clear removes all elements, keeping the allocated array for reuse.
+func (h *Heap[T]) Clear() {
+	var zero T
+	for i := range h.items {
+		h.items[i] = zero
+	}
+	h.items = h.items[:0]
+}
+
+func (h *Heap[T]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) siftDown(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(h.items[right], h.items[left]) {
+			smallest = right
+		}
+		if !h.less(h.items[smallest], h.items[i]) {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,186 @@
+package queue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func TestHeapEmpty(t *testing.T) {
+	h := NewHeap(intLess)
+	if !h.Empty() || h.Len() != 0 {
+		t.Fatal("new heap not empty")
+	}
+	if _, ok := h.Pop(); ok {
+		t.Fatal("Pop on empty heap reported ok")
+	}
+	if _, ok := h.Peek(); ok {
+		t.Fatal("Peek on empty heap reported ok")
+	}
+}
+
+func TestHeapSortsRandomInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHeap(intLess)
+	var want []int
+	for i := 0; i < 1000; i++ {
+		v := rng.Intn(100)
+		h.Push(v)
+		want = append(want, v)
+	}
+	sort.Ints(want)
+	for i, w := range want {
+		got, ok := h.Pop()
+		if !ok || got != w {
+			t.Fatalf("Pop #%d = %d, %v; want %d", i, got, ok, w)
+		}
+	}
+	if !h.Empty() {
+		t.Fatal("heap not empty after draining")
+	}
+}
+
+func TestHeapPeekDoesNotRemove(t *testing.T) {
+	h := NewHeap(intLess)
+	h.Push(3)
+	h.Push(1)
+	h.Push(2)
+	for i := 0; i < 3; i++ {
+		if v, ok := h.Peek(); !ok || v != 1 {
+			t.Fatalf("Peek = %d, %v; want 1", v, ok)
+		}
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Peek changed Len to %d", h.Len())
+	}
+}
+
+func TestNewHeapFrom(t *testing.T) {
+	items := []int{9, 4, 7, 1, 8, 2, 0, 5, 3, 6}
+	h := NewHeapFrom(intLess, items)
+	for want := 0; want < 10; want++ {
+		got, ok := h.Pop()
+		if !ok || got != want {
+			t.Fatalf("Pop = %d, %v; want %d", got, ok, want)
+		}
+	}
+}
+
+func TestHeapClearAndReuse(t *testing.T) {
+	h := NewHeap(intLess)
+	for i := 0; i < 10; i++ {
+		h.Push(i)
+	}
+	h.Clear()
+	if !h.Empty() {
+		t.Fatal("Clear left elements")
+	}
+	h.Push(5)
+	h.Push(2)
+	if v, _ := h.Pop(); v != 2 {
+		t.Fatal("reuse after Clear failed")
+	}
+}
+
+func TestHeapDuplicatesAndStabilityOfOrder(t *testing.T) {
+	h := NewHeap(intLess)
+	for i := 0; i < 100; i++ {
+		h.Push(42)
+	}
+	for i := 0; i < 100; i++ {
+		if v, ok := h.Pop(); !ok || v != 42 {
+			t.Fatalf("duplicate pop #%d = %d, %v", i, v, ok)
+		}
+	}
+}
+
+// TestHeapPropertyOrdered checks via testing/quick that popping any pushed
+// multiset yields a nondecreasing sequence containing exactly the pushed
+// values.
+func TestHeapPropertyOrdered(t *testing.T) {
+	f := func(vals []int16) bool {
+		h := NewHeap(intLess)
+		counts := map[int]int{}
+		for _, v := range vals {
+			h.Push(int(v))
+			counts[int(v)]++
+		}
+		prev := int(-1 << 20)
+		for range vals {
+			v, ok := h.Pop()
+			if !ok || v < prev {
+				return false
+			}
+			prev = v
+			counts[v]--
+			if counts[v] < 0 {
+				return false
+			}
+		}
+		return h.Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHeapPropertyInterleaved interleaves pushes and pops and checks the
+// heap against a sorted-slice model.
+func TestHeapPropertyInterleaved(t *testing.T) {
+	f := func(ops []int16) bool {
+		h := NewHeap(intLess)
+		var model []int
+		for _, op := range ops {
+			if op >= 0 {
+				h.Push(int(op))
+				model = append(model, int(op))
+				sort.Ints(model)
+			} else {
+				v, ok := h.Pop()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+		}
+		return h.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeapCustomOrdering(t *testing.T) {
+	// Max-heap via inverted less.
+	h := NewHeap(func(a, b int) bool { return a > b })
+	for _, v := range []int{3, 9, 1, 7} {
+		h.Push(v)
+	}
+	want := []int{9, 7, 3, 1}
+	for _, w := range want {
+		if v, _ := h.Pop(); v != w {
+			t.Fatalf("max-heap Pop = %d, want %d", v, w)
+		}
+	}
+}
+
+func BenchmarkHeapPushPop(b *testing.B) {
+	h := NewHeap(intLess)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Push(rng.Int())
+		if h.Len() > 1024 {
+			h.Pop()
+		}
+	}
+}

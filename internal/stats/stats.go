@@ -1,0 +1,163 @@
+// Package stats provides the summary statistics the paper's evaluation
+// reports: minimum execution times (Figures 4-6), averages with 95%
+// confidence intervals (Figure 7), and speedups relative to a sequential
+// baseline.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample is a collection of repeated measurements.
+type Sample struct {
+	xs []float64
+}
+
+// New returns a sample over the given values.
+func New(xs ...float64) *Sample {
+	s := &Sample{xs: append([]float64(nil), xs...)}
+	return s
+}
+
+// FromDurations builds a sample of seconds from durations.
+func FromDurations(ds []time.Duration) *Sample {
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = d.Seconds()
+	}
+	return &Sample{xs: xs}
+}
+
+// Add appends a value.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// N reports the number of values.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Min returns the smallest value (the paper's headline metric for
+// execution times), or NaN for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value, or NaN for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean, or NaN for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Median returns the median, or NaN for an empty sample.
+func (s *Sample) Median() float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), s.xs...)
+	sort.Float64s(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator), or 0
+// for samples smaller than 2.
+func (s *Sample) StdDev() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	mean := s.Mean()
+	ss := 0.0
+	for _, x := range s.xs {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// tTable95 holds two-sided 95% Student-t critical values for 1..30
+// degrees of freedom; beyond 30 the normal approximation 1.96 is used.
+var tTable95 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// tCritical95 returns the two-sided 95% critical value for df degrees of
+// freedom.
+func tCritical95(df int) float64 {
+	if df < 1 {
+		return math.NaN()
+	}
+	if df <= len(tTable95) {
+		return tTable95[df-1]
+	}
+	return 1.96
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean
+// (Student t), the error-bar metric of the paper's Figure 7. It is 0 for
+// samples smaller than 2.
+func (s *Sample) CI95() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	return tCritical95(n-1) * s.StdDev() / math.Sqrt(float64(n))
+}
+
+// Summary formats the sample as "mean ± ci [min, max]".
+func (s *Sample) Summary() string {
+	return fmt.Sprintf("%.4g ± %.2g [%.4g, %.4g]", s.Mean(), s.CI95(), s.Min(), s.Max())
+}
+
+// Speedup returns baseline/t: how many times faster t is than baseline.
+func Speedup(baseline, t float64) float64 {
+	if t <= 0 {
+		return math.NaN()
+	}
+	return baseline / t
+}
+
+// PercentReduction returns how much shorter t is than baseline, in
+// percent — the paper's headline "reduced the execution time by
+// 44.5-79.7%" metric.
+func PercentReduction(baseline, t float64) float64 {
+	if baseline <= 0 {
+		return math.NaN()
+	}
+	return 100 * (baseline - t) / baseline
+}

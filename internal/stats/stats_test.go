@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestBasicMoments(t *testing.T) {
+	s := New(2, 4, 4, 4, 5, 5, 7, 9)
+	if !almost(s.Mean(), 5) {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if !almost(s.Min(), 2) || !almost(s.Max(), 9) {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	// Sample stddev with n-1: variance = 32/7.
+	if !almost(s.StdDev(), math.Sqrt(32.0/7.0)) {
+		t.Errorf("StdDev = %v", s.StdDev())
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := New(3, 1, 2).Median(); !almost(m, 2) {
+		t.Errorf("odd median = %v", m)
+	}
+	if m := New(4, 1, 3, 2).Median(); !almost(m, 2.5) {
+		t.Errorf("even median = %v", m)
+	}
+	if !math.IsNaN(New().Median()) {
+		t.Error("empty median should be NaN")
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	e := New()
+	if !math.IsNaN(e.Mean()) || !math.IsNaN(e.Min()) || !math.IsNaN(e.Max()) {
+		t.Error("empty sample should report NaN moments")
+	}
+	one := New(3)
+	if one.StdDev() != 0 || one.CI95() != 0 {
+		t.Error("singleton sample should have zero spread")
+	}
+	if !almost(one.Mean(), 3) {
+		t.Error("singleton mean")
+	}
+}
+
+func TestCI95KnownValue(t *testing.T) {
+	// n=5, sd=1: half-width = t(4) * 1 / sqrt(5) = 2.776/2.2360.
+	s := New(0, 0, 0, 0, 0)
+	s.xs = []float64{-1.2649110640673518, -0.6324555320336759, 0, 0.6324555320336759, 1.2649110640673518}
+	// This sample has mean 0 and sample stddev 1.
+	if !almost(s.StdDev(), 1) {
+		t.Fatalf("constructed stddev = %v", s.StdDev())
+	}
+	want := 2.776 / math.Sqrt(5)
+	if !almost(s.CI95(), want) {
+		t.Errorf("CI95 = %v, want %v", s.CI95(), want)
+	}
+}
+
+func TestTCritical(t *testing.T) {
+	if !almost(tCritical95(1), 12.706) {
+		t.Error("df=1")
+	}
+	if !almost(tCritical95(30), 2.042) {
+		t.Error("df=30")
+	}
+	if !almost(tCritical95(31), 1.96) {
+		t.Error("df>30 should use normal approx")
+	}
+	if !math.IsNaN(tCritical95(0)) {
+		t.Error("df=0 should be NaN")
+	}
+}
+
+func TestFromDurations(t *testing.T) {
+	s := FromDurations([]time.Duration{time.Second, 2 * time.Second})
+	if !almost(s.Mean(), 1.5) {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+}
+
+func TestAdd(t *testing.T) {
+	s := New()
+	s.Add(1)
+	s.Add(2)
+	if s.N() != 2 || !almost(s.Mean(), 1.5) {
+		t.Error("Add broken")
+	}
+}
+
+func TestSpeedupAndReduction(t *testing.T) {
+	if !almost(Speedup(10, 2), 5) {
+		t.Error("Speedup")
+	}
+	if !math.IsNaN(Speedup(10, 0)) {
+		t.Error("Speedup by zero")
+	}
+	if !almost(PercentReduction(100, 20), 80) {
+		t.Error("PercentReduction")
+	}
+	if !math.IsNaN(PercentReduction(0, 5)) {
+		t.Error("PercentReduction zero baseline")
+	}
+}
+
+func TestSummaryNonEmpty(t *testing.T) {
+	if New(1, 2, 3).Summary() == "" {
+		t.Error("empty Summary")
+	}
+}
+
+// TestMomentProperties checks basic order/shift invariants with
+// testing/quick.
+func TestMomentProperties(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := New(xs...)
+		if s.Min() > s.Mean()+1e-9 || s.Mean() > s.Max()+1e-9 {
+			return false
+		}
+		if s.StdDev() < 0 || s.CI95() < 0 {
+			return false
+		}
+		// Shifting all values shifts the mean, not the spread.
+		shifted := New()
+		for _, x := range xs {
+			shifted.Add(x + 1000)
+		}
+		return almost(shifted.Mean(), s.Mean()+1000) &&
+			math.Abs(shifted.StdDev()-s.StdDev()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,123 @@
+// Package trace exports simulation results as industry-standard Value
+// Change Dump (VCD, IEEE 1364) waveform files, viewable in GTKWave and
+// similar tools. The paper's simulator is a logic-circuit DES; waveform
+// export is the natural inspection format for its outputs.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"hjdes/internal/core"
+)
+
+// idCode returns the VCD identifier code for signal index i: base-94
+// strings over the printable ASCII range '!'..'~'.
+func idCode(i int) string {
+	const base = 94
+	var b []byte
+	for {
+		b = append(b, byte('!'+i%base))
+		i /= base
+		if i == 0 {
+			break
+		}
+		i--
+	}
+	// Digits were produced little-endian; reverse.
+	for l, r := 0, len(b)-1; l < r; l, r = l+1, r-1 {
+		b[l], b[r] = b[r], b[l]
+	}
+	return string(b)
+}
+
+// sanitizeName makes a signal name VCD-safe (no whitespace).
+func sanitizeName(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\t' || r == '\n' {
+			return '_'
+		}
+		return r
+	}, s)
+}
+
+// WriteVCD writes the output histories of a simulation result as a VCD
+// file: one 1-bit wire per output terminal under a module scope named
+// after the circuit. Signals start as 'x' (unknown) in $dumpvars and
+// change at the settled value of each timestamp. The time unit is the
+// simulation's abstract tick, declared as 1ns.
+func WriteVCD(w io.Writer, module string, outputs map[string][]core.TimedValue) error {
+	if module == "" {
+		module = "sim"
+	}
+	names := make([]string, 0, len(outputs))
+	for name := range outputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	b.WriteString("$version hjdes discrete event simulator $end\n")
+	b.WriteString("$timescale 1ns $end\n")
+	fmt.Fprintf(&b, "$scope module %s $end\n", sanitizeName(module))
+	ids := make(map[string]string, len(names))
+	for i, name := range names {
+		id := idCode(i)
+		ids[name] = id
+		fmt.Fprintf(&b, "$var wire 1 %s %s $end\n", id, sanitizeName(name))
+	}
+	b.WriteString("$upscope $end\n$enddefinitions $end\n")
+
+	// Initial values: unknown until the first event arrives.
+	b.WriteString("$dumpvars\n")
+	for _, name := range names {
+		fmt.Fprintf(&b, "x%s\n", ids[name])
+	}
+	b.WriteString("$end\n")
+
+	// Merge all settled changes into one time-ordered stream.
+	type change struct {
+		t    int64
+		id   string
+		v    core.TimedValue
+		name string
+	}
+	var changes []change
+	for _, name := range names {
+		prevKnown := false
+		var prev core.TimedValue
+		for _, tv := range core.SettledValues(outputs[name]) {
+			if prevKnown && tv.Value == prev.Value {
+				prev = tv
+				continue
+			}
+			changes = append(changes, change{t: tv.Time, id: ids[name], v: tv, name: name})
+			prev, prevKnown = tv, true
+		}
+	}
+	sort.SliceStable(changes, func(i, j int) bool {
+		if changes[i].t != changes[j].t {
+			return changes[i].t < changes[j].t
+		}
+		return changes[i].name < changes[j].name
+	})
+
+	last := int64(-1)
+	for _, ch := range changes {
+		if ch.t != last {
+			fmt.Fprintf(&b, "#%d\n", ch.t)
+			last = ch.t
+		}
+		fmt.Fprintf(&b, "%d%s\n", ch.v.Value, ch.id)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteResultVCD is a convenience wrapper: dump a Result's outputs under
+// the engine's name.
+func WriteResultVCD(w io.Writer, res *core.Result) error {
+	return WriteVCD(w, res.Engine, res.Outputs)
+}

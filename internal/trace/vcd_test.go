@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hjdes/internal/circuit"
+	"hjdes/internal/core"
+)
+
+func TestIDCode(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 94*94+5; i++ {
+		id := idCode(i)
+		if id == "" || seen[id] {
+			t.Fatalf("idCode(%d) = %q (dup or empty)", i, id)
+		}
+		for _, r := range id {
+			if r < '!' || r > '~' {
+				t.Fatalf("idCode(%d) = %q contains non-printable", i, id)
+			}
+		}
+		seen[id] = true
+	}
+	if idCode(0) != "!" || idCode(1) != "\"" {
+		t.Fatalf("first codes: %q %q", idCode(0), idCode(1))
+	}
+	if idCode(94) != "!!" {
+		t.Fatalf("idCode(94) = %q, want !!", idCode(94))
+	}
+}
+
+func TestWriteVCDStructure(t *testing.T) {
+	outputs := map[string][]core.TimedValue{
+		"sum":  {{Time: 3, Value: 1}, {Time: 3, Value: 0}, {Time: 7, Value: 1}},
+		"cout": {{Time: 5, Value: 1}},
+	}
+	var buf bytes.Buffer
+	if err := WriteVCD(&buf, "adder", outputs); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$scope module adder $end",
+		"$var wire 1 ! cout $end", // sorted: cout gets the first id
+		"$var wire 1 \" sum $end",
+		"$enddefinitions $end",
+		"$dumpvars",
+		"#3",
+		"#5",
+		"#7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// Settled value at t=3 is 0 (the later same-timestamp event wins).
+	if !strings.Contains(out, "#3\n0\"") {
+		t.Errorf("VCD should record sum=0 at t=3:\n%s", out)
+	}
+}
+
+func TestWriteVCDTimesMonotone(t *testing.T) {
+	c := circuit.FullAdder()
+	stim := circuit.RandomStimulus(c, 5, c.SettleTime()+10, 1)
+	res, err := core.NewSequential(core.Options{}).Run(c, stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteResultVCD(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	last := int64(-1)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		tick, err := strconv.ParseInt(line[1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad timestamp line %q", line)
+		}
+		if tick <= last {
+			t.Fatalf("timestamps not strictly increasing: %d after %d", tick, last)
+		}
+		last = tick
+	}
+	if last < 0 {
+		t.Fatal("no timestamps emitted")
+	}
+}
+
+func TestWriteVCDSuppressesNonChanges(t *testing.T) {
+	outputs := map[string][]core.TimedValue{
+		"y": {
+			{Time: 1, Value: 1}, {Time: 2, Value: 1},
+			{Time: 3, Value: 1}, {Time: 4, Value: 0},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteVCD(&buf, "m", outputs); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Only the initial 1 (t=1) and the drop to 0 (t=4) are changes.
+	if strings.Contains(out, "#2") || strings.Contains(out, "#3") {
+		t.Fatalf("non-changes not suppressed:\n%s", out)
+	}
+	if !strings.Contains(out, "#1") || !strings.Contains(out, "#4") {
+		t.Fatalf("changes missing:\n%s", out)
+	}
+}
+
+func TestWriteVCDEmptyAndDefaults(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteVCD(&buf, "", map[string][]core.TimedValue{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "$scope module sim $end") {
+		t.Fatalf("default module name missing:\n%s", buf.String())
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	if got := sanitizeName("a b\tc"); got != "a_b_c" {
+		t.Fatalf("sanitizeName = %q", got)
+	}
+}
