@@ -228,6 +228,35 @@ func BenchmarkNetDES(b *testing.B) {
 	}
 }
 
+// BenchmarkLPEngine measures the partitioned logical-process engine
+// (Chandy–Misra–Bryant null messages over circuit partitions, the
+// PARSIR-style extension) across partition counts, reporting the
+// null-message ratio — the canonical CMB overhead metric — alongside
+// throughput.
+func BenchmarkLPEngine(b *testing.B) {
+	for _, bc := range benchCircuits {
+		c := bc.build()
+		stim := benchStim(c, bc.waves)
+		for _, parts := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/partitions=%d", bc.name, parts), func(b *testing.B) {
+				e := core.NewLP(core.Options{Partitions: parts, DiscardOutputs: true})
+				var last *core.Result
+				for i := 0; i < b.N; i++ {
+					res, err := e.Run(c, stim)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				b.ReportMetric(float64(last.TotalEvents), "events/run")
+				b.ReportMetric(float64(last.TotalEvents)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mevents/s")
+				b.ReportMetric(last.LP.NullRatio(), "null-ratio")
+				b.ReportMetric(100*last.LP.EdgeCut, "edge-cut-%")
+			})
+		}
+	}
+}
+
 // BenchmarkActorEngine measures the future-work actor engine on the
 // multiplier for comparison with the HJ engine.
 func BenchmarkActorEngine(b *testing.B) {

@@ -24,9 +24,10 @@ import (
 
 var (
 	circuitFlag = flag.String("circuit", "koggestone-64", "circuit spec: "+strings.Join(cspec.Known(), " | "))
-	engineFlag  = flag.String("engine", "hj", "engine: seq | seq-pq | hj | galois | galois-fine | galois-ordered | actor | timewarp")
+	engineFlag  = flag.String("engine", "hj", "engine: "+strings.Join(core.EngineNames(), " | "))
 	twWindow    = flag.Int64("tw-window", 0, "timewarp: speculation window (0 = unbounded)")
 	workersFlag = flag.Int("workers", 0, "worker count for parallel engines (0 = GOMAXPROCS)")
+	partsFlag   = flag.Int("partitions", 0, "lp: logical-process count (0 = workers)")
 	wavesFlag   = flag.Int("waves", 10, "number of random input waves")
 	seedFlag    = flag.Int64("seed", 1, "stimulus seed")
 	verifyFlag  = flag.Bool("verify", false, "check outputs against the combinational oracle")
@@ -47,28 +48,6 @@ func fatalf(format string, args ...any) {
 	os.Exit(1)
 }
 
-func buildEngine(name string, opts core.Options) (core.Engine, error) {
-	switch name {
-	case "seq":
-		return core.NewSequential(opts), nil
-	case "seq-pq":
-		return core.NewSequentialPQ(opts), nil
-	case "hj":
-		return core.NewHJ(opts), nil
-	case "galois":
-		return core.NewGalois(opts), nil
-	case "galois-fine":
-		return core.NewGaloisFine(opts), nil
-	case "galois-ordered":
-		return core.NewOrdered(opts), nil
-	case "actor":
-		return core.NewActor(opts), nil
-	case "timewarp":
-		return core.NewTimeWarp(opts), nil
-	}
-	return nil, fmt.Errorf("unknown engine %q", name)
-}
-
 func main() {
 	flag.Parse()
 	c, err := cspec.Build(*circuitFlag)
@@ -77,6 +56,7 @@ func main() {
 	}
 	opts := core.Options{
 		Workers:        *workersFlag,
+		Partitions:     *partsFlag,
 		PerNodePQ:      *pqFlag,
 		PerNodeLocks:   *nodeLockFlag,
 		NoTempQueue:    *noTempFlag,
@@ -86,7 +66,7 @@ func main() {
 		TimeWarpWindow: *twWindow,
 		DiscardOutputs: !*verifyFlag && *vcdFlag == "",
 	}
-	eng, err := buildEngine(*engineFlag, opts)
+	eng, err := core.NewEngine(*engineFlag, opts)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -163,5 +143,8 @@ func printStats(res *core.Result) {
 	}
 	if res.TimeWarp.Rounds > 0 {
 		fmt.Printf("timewarp: %v\n", res.TimeWarp)
+	}
+	if res.LP.Partitions > 0 {
+		fmt.Printf("lp runtime: %v\n", res.LP)
 	}
 }

@@ -21,7 +21,7 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment: table1 | table2 | fig1 | fig4 | fig5 | fig6 | fig7 | ablations | profiles | ordered | timewarp | netdes | all")
+	expFlag     = flag.String("exp", "all", "experiment: table1 | table2 | fig1 | fig4 | fig5 | fig6 | fig7 | ablations | profiles | ordered | timewarp | lp | netdes | all")
 	scaleFlag   = flag.Float64("scale", 0.1, "fraction of the paper's event volume per run (1 = paper scale)")
 	repeatsFlag = flag.Int("repeats", 3, "repetitions per configuration (paper: 20)")
 	workersFlag = flag.Int("maxworkers", 8, "maximum worker count in sweeps (paper: 32)")
@@ -119,6 +119,12 @@ func main() {
 		emit(t)
 	case "ordered":
 		t, err := harness.OrderedExp(cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		emit(t)
+	case "lp":
+		t, err := harness.LPExp(cfg)
 		if err != nil {
 			fatalf("%v", err)
 		}

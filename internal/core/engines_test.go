@@ -26,6 +26,8 @@ func testEngines(workers int) []Engine {
 		NewGaloisFine(Options{Workers: workers, Paranoid: true}),
 		NewOrdered(Options{Workers: workers, Paranoid: true}),
 		NewActor(Options{Workers: workers, Paranoid: true}),
+		NewLP(Options{Workers: workers, Paranoid: true}),
+		NewLP(Options{Partitions: 3, Paranoid: true}),
 	}
 }
 
@@ -311,6 +313,7 @@ func TestEngineNames(t *testing.T) {
 		"galois-fine":    NewGaloisFine(Options{}),
 		"galois-ordered": NewOrdered(Options{}),
 		"actor":          NewActor(Options{}),
+		"lp":             NewLP(Options{}),
 	}
 	for name, e := range want {
 		if e.Name() != name {

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"runtime"
+	"time"
+
+	"hjdes/internal/circuit"
+	"hjdes/internal/lp"
+	"hjdes/internal/partition"
+)
+
+// lpEngine is the partitioned logical-process engine: the circuit is
+// split into Options.Partitions node-disjoint partitions
+// (internal/partition), and each partition is simulated by one logical
+// process exchanging timestamped messages under the Chandy–Misra–Bryant
+// null-message protocol (internal/lp). Unlike the shared-memory engines,
+// no mutable node state is shared between workers — this is the
+// architecture that shards a simulation across processes or machines.
+type lpEngine struct {
+	opts Options
+}
+
+// NewLP returns the partitioned logical-process engine.
+func NewLP(opts Options) Engine { return &lpEngine{opts: opts} }
+
+func (e *lpEngine) Name() string { return "lp" }
+
+// partitions resolves the LP count: Partitions, else Workers, else
+// GOMAXPROCS.
+func (e *lpEngine) partitions() int {
+	if e.opts.Partitions > 0 {
+		return e.opts.Partitions
+	}
+	if e.opts.Workers > 0 {
+		return e.opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (e *lpEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
+	start := time.Now()
+	plan, err := partition.Partition(c, e.partitions())
+	if err != nil {
+		return nil, err
+	}
+	res, err := lp.Run(c, stim, plan, lp.Config{
+		Record:   !e.opts.DiscardOutputs,
+		Paranoid: e.opts.Paranoid,
+	})
+	if err != nil {
+		return nil, err
+	}
+	outputs := make(map[string][]TimedValue, len(res.Outputs))
+	for name, h := range res.Outputs {
+		tv := make([]TimedValue, len(h))
+		for i, s := range h {
+			tv[i] = TimedValue{Time: s.Time, Value: s.Value}
+		}
+		outputs[name] = tv
+	}
+	return &Result{
+		Engine:      e.Name(),
+		Workers:     plan.K,
+		TotalEvents: res.TotalEvents,
+		NodeEvents:  res.NodeEvents,
+		Elapsed:     time.Since(start),
+		Outputs:     outputs,
+		LP:          res.Stats,
+	}, nil
+}

@@ -40,6 +40,13 @@ type Options struct {
 	// AtomicBoolean-vs-ReentrantLock comparison).
 	MutexLocks bool
 
+	// Partitions is the LP engine's logical-process count: the circuit
+	// is split into this many partitions, each simulated by one
+	// goroutine exchanging Chandy–Misra–Bryant messages. Zero means
+	// Workers (and GOMAXPROCS when that is also zero). Ignored by the
+	// other engines.
+	Partitions int
+
 	// TimeWarpWindow bounds the optimistic engine's speculation: a node
 	// never runs more than this far ahead of its earliest pending event.
 	// Zero means unbounded (pure Time Warp). Ignored by other engines.

@@ -39,6 +39,10 @@ func TestPropertyRandomCircuitEnginesAgree(t *testing.T) {
 			NewHJ(Options{Workers: 2, PerNodePQ: true, NoTempQueue: true}),
 			NewGalois(Options{Workers: 2}),
 			NewActor(Options{}),
+			NewLP(Options{Partitions: 1}),
+			NewLP(Options{Partitions: 2}),
+			NewLP(Options{Partitions: 3}),
+			NewLP(Options{Partitions: 8}),
 		}
 		for _, e := range engines {
 			res, err := RunAndVerify(e, c, waves, period)
@@ -153,6 +157,55 @@ func TestChangedStimulusSameSettledOutputs(t *testing.T) {
 		}
 		if err := VerifyAgainstOracle(c, waves, period, res); err != nil {
 			t.Fatalf("%s: %v", e.Name(), err)
+		}
+	}
+}
+
+// TestPropertyLPPartitionSweep: the LP engine must agree exactly with
+// the sequential reference on the paper's circuit families and on random
+// DAGs, at partition counts spanning the degenerate single-LP case,
+// small counts, and counts exceeding the worker parallelism — and every
+// run must report a finite null-message ratio (termination without
+// deadlock or a null storm).
+func TestPropertyLPPartitionSweep(t *testing.T) {
+	circuits := []*circuit.Circuit{
+		circuit.KoggeStone(16),
+		circuit.TreeMultiplier(6),
+		circuit.RandomDAG(circuit.RandomConfig{Inputs: 6, Gates: 100, Outputs: 5, Seed: 77}),
+	}
+	for _, c := range circuits {
+		waves := randomWaves(c, 5, 7)
+		period := c.SettleTime() + 10
+		ref, err := RunAndVerify(NewSequential(Options{}), c, waves, period)
+		if err != nil {
+			t.Fatalf("%s: sequential reference: %v", c.Name, err)
+		}
+		for _, k := range []int{1, 2, 3, 8} {
+			// Workers below the partition count exercises K > workers.
+			e := NewLP(Options{Partitions: k, Workers: 2, Paranoid: true})
+			res, err := RunAndVerify(e, c, waves, period)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", c.Name, k, err)
+			}
+			if ok, diff := SameOutputs(ref, res); !ok {
+				t.Fatalf("%s k=%d disagrees with seq: %s", c.Name, k, diff)
+			}
+			if res.Workers != k {
+				t.Fatalf("%s k=%d: Result.Workers = %d", c.Name, k, res.Workers)
+			}
+			s := res.LP
+			if s.Partitions != k {
+				t.Fatalf("%s k=%d: stats report %d partitions", c.Name, k, s.Partitions)
+			}
+			if r := s.NullRatio(); r < 0 || r >= 1 {
+				t.Fatalf("%s k=%d: null ratio %f not in [0,1)", c.Name, k, r)
+			}
+			if s.NullMsgs > 10*s.EventMsgs+1000 {
+				t.Fatalf("%s k=%d: null storm: %d nulls vs %d events", c.Name, k, s.NullMsgs, s.EventMsgs)
+			}
+			if k == 1 && (s.CutEdges != 0 || s.EventMsgs != 0 || s.NullMsgs != 0) {
+				t.Fatalf("%s k=1 reported cross traffic: %+v", c.Name, s)
+			}
 		}
 	}
 }

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// EngineFactory builds an engine from run options.
+type EngineFactory func(Options) Engine
+
+// engineRegistry is the central name → factory table. Every engine
+// registers here once; cmd/dessim, the harness and the tests all resolve
+// engines through it instead of keeping their own switch statements.
+var engineRegistry = map[string]EngineFactory{
+	"seq":            NewSequential,
+	"seq-pq":         NewSequentialPQ,
+	"hj":             NewHJ,
+	"galois":         NewGalois,
+	"galois-fine":    NewGaloisFine,
+	"galois-ordered": NewOrdered,
+	"actor":          NewActor,
+	"timewarp":       NewTimeWarp,
+	"lp":             NewLP,
+}
+
+// RegisterEngine adds (or replaces) a named engine factory. It is meant
+// for engines living outside this package; registering a nil factory or
+// an empty name panics.
+func RegisterEngine(name string, f EngineFactory) {
+	if name == "" || f == nil {
+		panic("core: RegisterEngine with empty name or nil factory")
+	}
+	engineRegistry[name] = f
+}
+
+// NewEngine builds the named engine with the given options. The error
+// lists the known engine names.
+func NewEngine(name string, opts Options) (Engine, error) {
+	f, ok := engineRegistry[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown engine %q (known: %s)", name, strings.Join(EngineNames(), " | "))
+	}
+	return f(opts), nil
+}
+
+// EngineNames returns every registered engine name, sorted.
+func EngineNames() []string {
+	names := make([]string, 0, len(engineRegistry))
+	for name := range engineRegistry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

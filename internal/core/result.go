@@ -6,6 +6,7 @@ import (
 
 	"hjdes/internal/galois"
 	"hjdes/internal/hj"
+	"hjdes/internal/lp"
 )
 
 // Result is the outcome of one simulation run.
@@ -20,6 +21,7 @@ type Result struct {
 	HJ       hj.StatsSnapshot     // populated by the HJ engine
 	Galois   galois.StatsSnapshot // populated by the Galois engine
 	TimeWarp TWStats              // populated by the Time Warp engine
+	LP       lp.Stats             // populated by the LP engine
 }
 
 func (r *Result) String() string {

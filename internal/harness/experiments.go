@@ -106,21 +106,32 @@ func (cfg Config) repeats() int {
 	return cfg.Repeats
 }
 
-// Engine factories.
+// Engine factories, resolved through the core engine registry so the
+// harness never repeats the name→constructor mapping.
 
-func seqFactory(int) core.Engine { return core.NewSequential(core.Options{DiscardOutputs: true}) }
-
-func seqPQFactory(int) core.Engine {
-	return core.NewSequentialPQ(core.Options{DiscardOutputs: true})
+// factory returns an EngineFactory for the registered engine name with
+// the given option template; the sweep's worker count is filled in per
+// call and outputs are discarded (the harness only measures). The names
+// used here are compile-time constants, so resolution failures panic.
+func factory(name string, opts core.Options) EngineFactory {
+	return func(workers int) core.Engine {
+		o := opts
+		o.Workers = workers
+		o.DiscardOutputs = true
+		e, err := core.NewEngine(name, o)
+		if err != nil {
+			panic(err)
+		}
+		return e
+	}
 }
 
-func hjFactory(workers int) core.Engine {
-	return core.NewHJ(core.Options{Workers: workers, DiscardOutputs: true})
-}
-
-func galoisFactory(workers int) core.Engine {
-	return core.NewGalois(core.Options{Workers: workers, DiscardOutputs: true})
-}
+var (
+	seqFactory    = factory("seq", core.Options{})
+	seqPQFactory  = factory("seq-pq", core.Options{})
+	hjFactory     = factory("hj", core.Options{})
+	galoisFactory = factory("galois", core.Options{})
+)
 
 // Table1 regenerates the paper's Table 1: profiles of the input circuits,
 // with the published numbers alongside for comparison. Event counts are
@@ -288,28 +299,14 @@ func Ablations(cfg Config) (*Table, error) {
 		f    EngineFactory
 	}{
 		{"hj fully optimized", hjFactory},
-		{"no per-port deques (per-node PQ, 4.5.1)", func(w int) core.Engine {
-			return core.NewHJ(core.Options{Workers: w, PerNodePQ: true, DiscardOutputs: true})
-		}},
-		{"no per-port locks (per-node locks, 4.5.1)", func(w int) core.Engine {
-			return core.NewHJ(core.Options{Workers: w, PerNodeLocks: true, DiscardOutputs: true})
-		}},
-		{"no temp ready queue (4.5.1)", func(w int) core.Engine {
-			return core.NewHJ(core.Options{Workers: w, NoTempQueue: true, DiscardOutputs: true})
-		}},
-		{"no async avoidance (4.5.3)", func(w int) core.Engine {
-			return core.NewHJ(core.Options{Workers: w, NaiveRespawn: true, DiscardOutputs: true})
-		}},
-		{"global isolated instead of TryLock (3.2)", func(w int) core.Engine {
-			return core.NewHJ(core.Options{Workers: w, GlobalIsolated: true, DiscardOutputs: true})
-		}},
-		{"mutex locks instead of AtomicBoolean (4.5.2)", func(w int) core.Engine {
-			return core.NewHJ(core.Options{Workers: w, MutexLocks: true, DiscardOutputs: true})
-		}},
+		{"no per-port deques (per-node PQ, 4.5.1)", factory("hj", core.Options{PerNodePQ: true})},
+		{"no per-port locks (per-node locks, 4.5.1)", factory("hj", core.Options{PerNodeLocks: true})},
+		{"no temp ready queue (4.5.1)", factory("hj", core.Options{NoTempQueue: true})},
+		{"no async avoidance (4.5.3)", factory("hj", core.Options{NaiveRespawn: true})},
+		{"global isolated instead of TryLock (3.2)", factory("hj", core.Options{GlobalIsolated: true})},
+		{"mutex locks instead of AtomicBoolean (4.5.2)", factory("hj", core.Options{MutexLocks: true})},
 		{"galois baseline", galoisFactory},
-		{"galois with per-port conflict objects", func(w int) core.Engine {
-			return core.NewGaloisFine(core.Options{Workers: w, DiscardOutputs: true})
-		}},
+		{"galois with per-port conflict objects", factory("galois-fine", core.Options{})},
 	}
 	t := &Table{
 		Title:   fmt.Sprintf("Ablations: Section 4.5 optimizations on %s at %d workers (scale=%.3g, repeats=%d)", pc.Name, workers, cfg.Scale, cfg.repeats()),
@@ -386,7 +383,7 @@ func TimeWarpExp(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		// Measure Time Warp once by hand to capture its stats.
-		tw := core.NewTimeWarp(core.Options{Workers: workers, DiscardOutputs: true})
+		tw := factory("timewarp", core.Options{})(workers)
 		var best *core.Result
 		for i := 0; i < cfg.repeats(); i++ {
 			res, err := tw.Run(c, stim)
@@ -421,9 +418,7 @@ func OrderedExp(cfg Config) (*Table, error) {
 			workers, ordCfg.Scale, cfg.repeats()),
 		Headers: []string{"circuit", "events", "unordered_min_s", "ordered_min_s", "ordered/unordered"},
 	}
-	orderedFactory := func(w int) core.Engine {
-		return core.NewOrdered(core.Options{Workers: w, DiscardOutputs: true})
-	}
+	orderedFactory := factory("galois-ordered", core.Options{})
 	for _, pc := range cfg.circuits() {
 		c := pc.Build()
 		stim := ordCfg.stimulus(c, pc)
@@ -438,6 +433,53 @@ func OrderedExp(cfg Config) (*Table, error) {
 		t.AddRow(pc.Name, fmt.Sprint(un.Events),
 			FmtSeconds(un.MinSeconds()), FmtSeconds(or.MinSeconds()),
 			fmt.Sprintf("%.2fx", or.MinSeconds()/un.MinSeconds()))
+	}
+	return t, nil
+}
+
+// LPExp is the extension experiment for the partitioned logical-process
+// engine (the PARSIR-style architecture from PAPERS.md): each circuit is
+// split into K node-disjoint partitions, one message-passing LP per
+// partition, synchronized by Chandy–Misra–Bryant null messages. The
+// partition count is swept over the worker counts, reporting the
+// partition quality (edge-cut fraction, load imbalance) and the
+// null-message ratio — the canonical CMB overhead metric — next to the
+// runtime and the shared-memory HJ engine at the same parallelism.
+func LPExp(cfg Config) (*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("Extension: partitioned logical-process engine (CMB null messages; scale=%.3g, repeats=%d)",
+			cfg.Scale, cfg.repeats()),
+		Headers: []string{"circuit", "lps", "lp_min_s", "hj_min_s", "lp/hj",
+			"edge_cut_%", "imbalance", "event_msgs", "null_msgs", "null_ratio"},
+	}
+	for _, pc := range cfg.circuits() {
+		c := pc.Build()
+		stim := cfg.stimulus(c, pc)
+		for _, k := range cfg.workerCounts() {
+			hjM, err := Measure(Spec{Label: pc.Name + "/hj", Circuit: c, Stim: stim, Factory: hjFactory, Workers: k, Repeats: cfg.repeats()})
+			if err != nil {
+				return nil, err
+			}
+			// Measure the LP engine by hand to capture its stats.
+			e := factory("lp", core.Options{Partitions: k})(k)
+			var best *core.Result
+			for i := 0; i < cfg.repeats(); i++ {
+				res, err := e.Run(c, stim)
+				if err != nil {
+					return nil, err
+				}
+				if best == nil || res.Elapsed < best.Elapsed {
+					best = res
+				}
+			}
+			s := best.LP
+			t.AddRow(pc.Name, fmt.Sprint(k),
+				FmtSeconds(best.Elapsed.Seconds()), FmtSeconds(hjM.MinSeconds()),
+				fmt.Sprintf("%.2fx", best.Elapsed.Seconds()/hjM.MinSeconds()),
+				fmt.Sprintf("%.1f", 100*s.EdgeCut), fmt.Sprintf("%.2f", s.Imbalance),
+				fmt.Sprint(s.EventMsgs), fmt.Sprint(s.NullMsgs),
+				fmt.Sprintf("%.3f", s.NullRatio()))
+		}
 	}
 	return t, nil
 }
@@ -573,6 +615,15 @@ func All(cfg Config, w io.Writer) error {
 		return err
 	}
 	if err := oe.WriteText(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+
+	le, err := LPExp(cfg)
+	if err != nil {
+		return err
+	}
+	if err := le.WriteText(w); err != nil {
 		return err
 	}
 	fmt.Fprintln(w)

@@ -265,6 +265,22 @@ func TestOrderedExpTiny(t *testing.T) {
 	}
 }
 
+func TestLPExpTiny(t *testing.T) {
+	tbl, err := LPExp(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three circuits, each swept over workerCounts() = {1, 2}.
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Headers) {
+			t.Fatalf("ragged row %v", row)
+		}
+	}
+}
+
 func TestNetDESTiny(t *testing.T) {
 	cfg := tinyConfig()
 	tbl, err := NetDES(cfg)
@@ -309,7 +325,7 @@ func TestAllEndToEnd(t *testing.T) {
 	for _, want := range []string{
 		"Table 1", "Table 2", "Figure 1", "Figure 4", "Figure 5",
 		"Figure 6", "Figure 7", "Ablations", "parallelism profiles",
-		"Time Warp", "ordered", "packet-network",
+		"Time Warp", "ordered", "logical-process", "packet-network",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("All report missing %q", want)

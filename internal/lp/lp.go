@@ -1,0 +1,674 @@
+// Package lp is a partitioned logical-process runtime for conservative
+// discrete event simulation, implementing the Chandy–Misra–Bryant (CMB)
+// null-message protocol over the partitions produced by internal/partition.
+//
+// Each partition becomes one logical process (LP): a goroutine owning the
+// runtime state of its nodes, with its own event storage and workset.
+// Nothing mutable is shared between LPs — every cross-partition event
+// travels as a timestamped message through a bounded inbox channel.
+//
+// # Protocol
+//
+// Within an LP, nodes run the same per-node Chandy–Misra algorithm as the
+// in-memory engines: every input port keeps a clock (a lower bound on all
+// future arrivals) and a FIFO of pending events, and a node may process
+// any event whose timestamp is at most the minimum of its port clocks.
+// Intra-partition edges deliver events synchronously; cut edges send an
+// event message to the destination LP.
+//
+// Because partitions of a DAG can form cycles in the quotient graph, an
+// LP that runs out of ready work cannot simply block: two LPs waiting on
+// each other would deadlock. Before blocking, an LP therefore sends a
+// null message on every outbound channel, promising that no event will
+// ever arrive on that channel with a timestamp below the promised value,
+// and the receiver advances the channel's port clocks to the promise.
+// The promise for a channel is the minimum, over the channel's cut edges
+// y→·, of a per-node output bound lbOut(y), computed by relaxing the
+// LP's own sub-DAG in topological order:
+//
+//	lbOut(y) = earliest(y) + delay(y) + WireDelay
+//	earliest(y) = min over ports p of min(queued timestamps on p,
+//	              max(clock(p), lbOut(intra feeder of p)))
+//
+// earliest(y) lower-bounds the timestamp of any event y may still
+// process — queued events only gain time as they cascade, future local
+// arrivals are bounded by the feeder's own output bound, and future
+// cross arrivals are bounded by the port clock. Every relaxation step
+// adds the positive per-edge lookahead delay + WireDelay from the
+// partition plan, so promises exchanged around a channel cycle strictly
+// increase and the simulation always progresses (the CMB guarantee).
+// Null messages are sent only when an LP is about to block and only when
+// they improve on the channel's previous promise, which keeps the
+// null-message ratio bounded.
+//
+// Termination reuses the engines' NULL(∞) convention: a drained node
+// propagates infinity to its fanout (as a per-edge message across cuts),
+// and an LP exits once every owned node has terminated. Bounded inboxes
+// provide backpressure; a sender whose destination inbox is full drains
+// its own inbox while waiting, so message cycles cannot deadlock either.
+package lp
+
+import (
+	"fmt"
+	"sync"
+
+	"hjdes/internal/circuit"
+	"hjdes/internal/partition"
+	"hjdes/internal/queue"
+)
+
+// TimeInfinity is the NULL(∞) timestamp announcing that a port will never
+// see another event (same convention as the in-memory engines).
+const TimeInfinity int64 = 1<<63 - 1
+
+// clockUnset marks a port that has not received any event or promise yet.
+const clockUnset int64 = -1
+
+// TimedValue is one observed (time, value) sample at an output terminal.
+type TimedValue struct {
+	Time  int64
+	Value circuit.Value
+}
+
+// Config tunes one Run.
+type Config struct {
+	// Record keeps output-terminal event histories.
+	Record bool
+	// Paranoid asserts per-port timestamp monotonicity: a signal event
+	// arriving below its port clock (a broken lookahead promise) panics,
+	// and Run reports the panic as an error.
+	Paranoid bool
+	// InboxCap bounds each LP's inbox; 0 means DefaultInboxCap.
+	InboxCap int
+}
+
+// DefaultInboxCap is the default per-LP inbox bound: small enough for
+// backpressure, large enough that senders rarely stall.
+const DefaultInboxCap = 1024
+
+// Stats are the run's message-level counters. The null-message ratio is
+// the canonical overhead metric of CMB simulators.
+type Stats struct {
+	Partitions int   // number of LPs
+	CutEdges   int   // cross-partition circuit edges
+	EventMsgs  int64 // cross-partition signal-event messages
+	NullMsgs   int64 // finite-timestamp null (clock-advance) messages
+	EdgeCut    float64
+	Imbalance  float64
+}
+
+// NullRatio reports null messages per total cross-partition message
+// (0 when nothing crossed a cut).
+func (s Stats) NullRatio() float64 {
+	total := s.EventMsgs + s.NullMsgs
+	if total == 0 {
+		return 0
+	}
+	return float64(s.NullMsgs) / float64(total)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("lps=%d cut-edges=%d event-msgs=%d null-msgs=%d null-ratio=%.3f edge-cut=%.1f%% imbalance=%.2f",
+		s.Partitions, s.CutEdges, s.EventMsgs, s.NullMsgs, s.NullRatio(), 100*s.EdgeCut, s.Imbalance)
+}
+
+// Result is the outcome of one Run.
+type Result struct {
+	TotalEvents int64
+	NodeEvents  []int64
+	Outputs     map[string][]TimedValue
+	Stats       Stats
+}
+
+// Message kinds.
+const (
+	msgEvent    uint8 = iota // a signal event for (node, port)
+	msgNullEdge              // NULL(∞) for (node, port): the source node drained
+	msgNullChan              // channel promise: no event below time will arrive from LP src
+)
+
+// msg is one inter-LP message.
+type msg struct {
+	kind uint8
+	src  int32 // sending LP (msgNullChan)
+	node int32 // destination node (msgEvent, msgNullEdge)
+	port int32
+	time int64 // event timestamp, or the promised bound (msgNullChan)
+	val  circuit.Value
+}
+
+// dest is one fanout endpoint, pre-resolved against the plan.
+type dest struct {
+	node  int32
+	port  int32
+	lp    int32 // owning LP of node
+	cross bool
+}
+
+// port is the receive side of one input port.
+type port struct {
+	q     queue.Deque[event]
+	clock int64
+}
+
+type event struct {
+	time int64
+	val  circuit.Value
+}
+
+// node is the runtime state of one circuit node, owned exclusively by the
+// LP of its partition.
+type node struct {
+	id          int32
+	kind        circuit.Kind
+	delay       int64
+	fanin       [2]int32 // source node per port, -1 when unused
+	fanout      []dest
+	ports       []port
+	transitions []circuit.Transition // input terminals only
+	inVal       [2]circuit.Value
+	nullSent    bool
+	events      int64
+	history     []TimedValue
+}
+
+func (n *node) localClock() int64 {
+	clock := TimeInfinity
+	for p := range n.ports {
+		if c := n.ports[p].clock; c < clock {
+			clock = c
+		}
+	}
+	return clock
+}
+
+func (n *node) hasReady() bool {
+	clock := n.localClock()
+	for p := range n.ports {
+		if head, ok := n.ports[p].q.Front(); ok && head.time <= clock {
+			return true
+		}
+	}
+	return false
+}
+
+// drained reports that the node will never receive another event and has
+// nothing queued.
+func (n *node) drained() bool {
+	for p := range n.ports {
+		if n.ports[p].clock != TimeInfinity || !n.ports[p].q.Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// inEdge is the receive side of one cut edge.
+type inEdge struct {
+	node int32
+	port int32
+}
+
+// proc is one logical process.
+type proc struct {
+	id    int32
+	r     *run
+	nodes []int32 // owned node IDs
+	topo  []int32 // owned node IDs in intra-partition topological order
+	inbox chan msg
+
+	// Outbound channel i goes to LP outbound[i]; outSrcs[i] lists the
+	// distinct local source nodes of its cut edges, and lastNull[i] the
+	// bound last promised on it.
+	outbound []int32
+	outSrcs  [][]int32
+	lastNull []int64
+
+	// inEdges[src] lists the cut-edge endpoints fed by LP src, for
+	// applying that channel's promises.
+	inEdges map[int32][]inEdge
+
+	ws        queue.Deque[int32]
+	remaining int // owned nodes that have not terminated
+
+	eventMsgs int64
+	nullMsgs  int64
+	err       error
+}
+
+// run is the shared context of one simulation: immutable wiring plus the
+// per-node state array, each element of which is owned by exactly one LP.
+type run struct {
+	cfg   Config
+	nodes []node
+	owner []int32 // node ID → LP
+	procs []*proc
+	inWS  []bool  // workset membership, touched only by the owner LP
+	lbOut []int64 // per-node output bound, touched only by the owner LP
+}
+
+// Run simulates the circuit under the stimulus with one logical process
+// per partition of the plan.
+func Run(c *circuit.Circuit, stim *circuit.Stimulus, plan *partition.Plan, cfg Config) (*Result, error) {
+	if err := stim.Validate(c); err != nil {
+		return nil, err
+	}
+	if len(plan.Assign) != len(c.Nodes) || plan.K < 1 {
+		return nil, fmt.Errorf("lp: plan covers %d nodes in %d partitions, circuit has %d nodes",
+			len(plan.Assign), plan.K, len(c.Nodes))
+	}
+	r := &run{
+		cfg:   cfg,
+		nodes: make([]node, len(c.Nodes)),
+		owner: make([]int32, len(c.Nodes)),
+		inWS:  make([]bool, len(c.Nodes)),
+		lbOut: make([]int64, len(c.Nodes)),
+	}
+	for i := range c.Nodes {
+		if a := plan.Assign[i]; a < 0 || a >= plan.K {
+			return nil, fmt.Errorf("lp: plan assigns node %d to partition %d of %d", i, a, plan.K)
+		}
+		r.owner[i] = int32(plan.Assign[i])
+	}
+	inboxCap := cfg.InboxCap
+	if inboxCap <= 0 {
+		inboxCap = DefaultInboxCap
+	}
+	r.procs = make([]*proc, plan.K)
+	for i := range r.procs {
+		r.procs[i] = &proc{
+			id:      int32(i),
+			r:       r,
+			inbox:   make(chan msg, inboxCap),
+			inEdges: make(map[int32][]inEdge),
+		}
+	}
+
+	for i := range c.Nodes {
+		cn := &c.Nodes[i]
+		n := &r.nodes[i]
+		n.id = int32(cn.ID)
+		n.kind = cn.Kind
+		n.delay = cn.Kind.Delay()
+		n.fanin = [2]int32{-1, -1}
+		for p := 0; p < cn.NumIn(); p++ {
+			n.fanin[p] = int32(cn.Fanin[p])
+		}
+		n.fanout = make([]dest, len(cn.Fanout))
+		for j, p := range cn.Fanout {
+			lp := r.owner[p.Node]
+			n.fanout[j] = dest{node: int32(p.Node), port: int32(p.In), lp: lp, cross: lp != r.owner[i]}
+		}
+		n.ports = make([]port, cn.NumIn())
+		for p := range n.ports {
+			n.ports[p].clock = clockUnset
+		}
+		owner := r.procs[r.owner[i]]
+		owner.nodes = append(owner.nodes, int32(i))
+		owner.remaining++
+	}
+	for i, id := range c.Inputs {
+		r.nodes[id].transitions = stim.ByInput[i]
+	}
+	// Owned nodes in topological order, for the lbOut relaxation: the
+	// global level order restricted to each partition is consistent with
+	// every intra-partition edge.
+	for _, id := range partition.LevelOrder(c) {
+		p := r.procs[r.owner[id]]
+		p.topo = append(p.topo, int32(id))
+	}
+
+	// Resolve channels: outbound per sender, inbound edge lists per
+	// receiver keyed by sender.
+	for _, ch := range plan.Channels {
+		from, to := r.procs[ch.From], r.procs[ch.To]
+		from.outbound = append(from.outbound, int32(ch.To))
+		from.lastNull = append(from.lastNull, clockUnset)
+		srcs, seen := []int32{}, map[int32]bool{}
+		for _, ei := range ch.Edges {
+			ce := plan.CutEdges[ei]
+			if !seen[int32(ce.Src)] {
+				seen[int32(ce.Src)] = true
+				srcs = append(srcs, int32(ce.Src))
+			}
+			to.inEdges[int32(ch.From)] = append(to.inEdges[int32(ch.From)], inEdge{
+				node: int32(ce.Dst), port: int32(ce.DstPort),
+			})
+		}
+		from.outSrcs = append(from.outSrcs, srcs)
+	}
+
+	var wg sync.WaitGroup
+	for _, p := range r.procs {
+		wg.Add(1)
+		go func(p *proc) {
+			defer wg.Done()
+			p.main()
+		}(p)
+	}
+	wg.Wait()
+
+	res := &Result{
+		NodeEvents: make([]int64, len(r.nodes)),
+		Stats: Stats{
+			Partitions: plan.K,
+			CutEdges:   len(plan.CutEdges),
+			EdgeCut:    plan.EdgeCutFraction(),
+			Imbalance:  plan.LoadBalance(),
+		},
+	}
+	for _, p := range r.procs {
+		if p.err != nil {
+			return nil, p.err
+		}
+		res.Stats.EventMsgs += p.eventMsgs
+		res.Stats.NullMsgs += p.nullMsgs
+	}
+	for i := range r.nodes {
+		n := &r.nodes[i]
+		if !n.nullSent {
+			return nil, fmt.Errorf("lp: simulation ended with node %d not terminated", n.id)
+		}
+		res.TotalEvents += n.events
+		res.NodeEvents[i] = n.events
+	}
+	res.Outputs = make(map[string][]TimedValue, len(c.Outputs))
+	for _, id := range c.Outputs {
+		res.Outputs[c.Nodes[id].Name] = r.nodes[id].history
+	}
+	return res, nil
+}
+
+// main is the LP event loop: flood owned inputs, then alternate between
+// local processing and message exchange until every owned node has
+// terminated.
+func (p *proc) main() {
+	defer func() {
+		if rec := recover(); rec != nil {
+			p.err = fmt.Errorf("lp %d: %v", p.id, rec)
+			p.abort()
+		}
+	}()
+	p.floodInputs()
+	for {
+		p.drainInbox()
+		p.processLocal()
+		if p.remaining == 0 {
+			return
+		}
+		// No ready work and not done: some cross-fed port is still open
+		// (intra-partition dependencies always resolve within the DAG).
+		// Promise our output bounds downstream, then block for input.
+		p.sendNulls()
+		// A send that stalled on a full peer inbox drains our own inbox
+		// meanwhile, which can ready local work; block only if the
+		// workset is still empty, or the peers may all be waiting on the
+		// very events that work would produce.
+		if !p.ws.Empty() {
+			continue
+		}
+		p.apply(<-p.inbox)
+	}
+}
+
+// abort unblocks peers after a local panic by flooding NULL(∞) on every
+// owned cut edge, best-effort: a full peer inbox is retried a bounded
+// number of times while draining our own.
+func (p *proc) abort() {
+	for _, id := range p.nodes {
+		for _, d := range p.r.nodes[id].fanout {
+			if !d.cross {
+				continue
+			}
+			m := msg{kind: msgNullEdge, node: d.node, port: d.port}
+			box := p.r.procs[d.lp].inbox
+			for attempt := 0; attempt < 1024; attempt++ {
+				select {
+				case box <- m:
+					attempt = 1024
+				case in := <-p.inbox:
+					_ = in // discard: local state is already poisoned
+				default:
+				}
+			}
+		}
+	}
+}
+
+// floodInputs injects every owned input terminal's stimulus, then its
+// NULL — all of an input's events are known up front.
+func (p *proc) floodInputs() {
+	for _, id := range p.nodes {
+		n := &p.r.nodes[id]
+		if n.kind != circuit.Input {
+			continue
+		}
+		for _, tr := range n.transitions {
+			ev := event{time: tr.Time + circuit.WireDelay, val: tr.Value}
+			for _, d := range n.fanout {
+				p.deliver(d, ev)
+			}
+		}
+		p.sendNull(n)
+	}
+}
+
+// deliver routes one event along a fanout edge: locally into the
+// destination port, or across the cut as a message.
+func (p *proc) deliver(d dest, ev event) {
+	if d.cross {
+		p.eventMsgs++
+		p.send(d.lp, msg{kind: msgEvent, node: d.node, port: d.port, time: ev.time, val: ev.val})
+		return
+	}
+	p.receive(d.node, d.port, ev)
+	p.wake(d.node)
+}
+
+// receive appends an event to a locally owned port, advancing its clock.
+func (p *proc) receive(nodeID, portID int32, ev event) {
+	pt := &p.r.nodes[nodeID].ports[portID]
+	if p.r.cfg.Paranoid && ev.time < pt.clock {
+		panic(fmt.Sprintf("causality violation at node %d port %d: event t=%d after clock %d",
+			nodeID, portID, ev.time, pt.clock))
+	}
+	if ev.time > pt.clock {
+		pt.clock = ev.time
+	}
+	pt.q.PushBack(ev)
+}
+
+// wake adds a locally owned node to the workset.
+func (p *proc) wake(nodeID int32) {
+	if !p.r.inWS[nodeID] {
+		p.r.inWS[nodeID] = true
+		p.ws.PushBack(nodeID)
+	}
+}
+
+// send places m into LP to's inbox. If the inbox is full the sender
+// drains its own inbox while waiting, so cyclic backpressure cannot
+// deadlock: some LP can always make progress.
+func (p *proc) send(to int32, m msg) {
+	box := p.r.procs[to].inbox
+	for {
+		select {
+		case box <- m:
+			return
+		case in := <-p.inbox:
+			p.apply(in)
+		}
+	}
+}
+
+// apply folds one received message into local node state and wakes the
+// affected nodes; it never processes events (the main loop does).
+func (p *proc) apply(m msg) {
+	switch m.kind {
+	case msgEvent:
+		p.receive(m.node, m.port, event{time: m.time, val: m.val})
+		p.wake(m.node)
+	case msgNullEdge:
+		p.r.nodes[m.node].ports[m.port].clock = TimeInfinity
+		p.wake(m.node)
+	case msgNullChan:
+		for _, e := range p.inEdges[m.src] {
+			pt := &p.r.nodes[e.node].ports[e.port]
+			if m.time > pt.clock {
+				pt.clock = m.time
+				p.wake(e.node)
+			}
+		}
+	}
+}
+
+// drainInbox applies every currently queued message without blocking.
+func (p *proc) drainInbox() {
+	for {
+		select {
+		case m := <-p.inbox:
+			p.apply(m)
+		default:
+			return
+		}
+	}
+}
+
+// processLocal runs the workset to exhaustion: Algorithm 1 restricted to
+// the LP's own nodes.
+func (p *proc) processLocal() {
+	var evs []event
+	var evPorts []int32
+	for {
+		id, ok := p.ws.PopBack()
+		if !ok {
+			return
+		}
+		p.r.inWS[id] = false
+		n := &p.r.nodes[id]
+		if n.nullSent {
+			continue
+		}
+		// Extract every ready event in nondecreasing timestamp order
+		// (ties by port index, like the in-memory engines).
+		evs, evPorts = evs[:0], evPorts[:0]
+		clock := n.localClock()
+		for {
+			best := int32(-1)
+			bestTime := clock
+			for pi := range n.ports {
+				if head, ok := n.ports[pi].q.Front(); ok && head.time <= bestTime {
+					if best == -1 || head.time < bestTime {
+						best = int32(pi)
+						bestTime = head.time
+					}
+				}
+			}
+			if best == -1 {
+				break
+			}
+			ev, _ := n.ports[best].q.PopFront()
+			evs = append(evs, ev)
+			evPorts = append(evPorts, best)
+		}
+		for i, ev := range evs {
+			p.process(n, evPorts[i], ev)
+		}
+		if n.drained() {
+			p.sendNull(n)
+		} else if n.hasReady() {
+			// An arrival applied during our own sends re-readied us.
+			p.wake(id)
+		}
+	}
+}
+
+// process consumes one ready event at node n.
+func (p *proc) process(n *node, portID int32, ev event) {
+	n.inVal[portID] = ev.val
+	n.events++
+	switch n.kind {
+	case circuit.Output:
+		if p.r.cfg.Record {
+			n.history = append(n.history, TimedValue{Time: ev.time, Value: ev.val})
+		}
+		return
+	case circuit.Input:
+		return
+	}
+	out := event{time: ev.time + n.delay + circuit.WireDelay, val: n.kind.Eval(n.inVal[0], n.inVal[1])}
+	for _, d := range n.fanout {
+		p.deliver(d, out)
+	}
+}
+
+// sendNull terminates node n: NULL(∞) to every fanout port (locally or as
+// a message), leaving one fewer live node in this LP.
+func (p *proc) sendNull(n *node) {
+	for _, d := range n.fanout {
+		if d.cross {
+			p.send(d.lp, msg{kind: msgNullEdge, node: d.node, port: d.port})
+			continue
+		}
+		p.r.nodes[d.node].ports[d.port].clock = TimeInfinity
+		p.wake(d.node)
+	}
+	n.nullSent = true
+	p.remaining--
+}
+
+// relax recomputes the per-node output bounds lbOut over the owned
+// sub-DAG in topological order (see the package comment).
+func (p *proc) relax() {
+	for _, id := range p.topo {
+		n := &p.r.nodes[id]
+		if n.nullSent {
+			p.r.lbOut[id] = TimeInfinity
+			continue
+		}
+		earliest := TimeInfinity
+		for pi := range n.ports {
+			b := n.ports[pi].clock
+			if f := n.fanin[pi]; f >= 0 && p.r.owner[f] == p.id {
+				if lb := p.r.lbOut[f]; lb > b {
+					b = lb
+				}
+			}
+			if head, ok := n.ports[pi].q.Front(); ok && head.time < b {
+				b = head.time
+			}
+			if b < earliest {
+				earliest = b
+			}
+		}
+		if earliest == TimeInfinity {
+			p.r.lbOut[id] = TimeInfinity
+			continue
+		}
+		p.r.lbOut[id] = earliest + n.delay + circuit.WireDelay
+	}
+}
+
+// sendNulls promises the current output bound on every outbound channel
+// where it improves on the previous promise.
+func (p *proc) sendNulls() {
+	if len(p.outbound) == 0 {
+		return
+	}
+	p.relax()
+	for i, to := range p.outbound {
+		promise := TimeInfinity
+		for _, y := range p.outSrcs[i] {
+			if lb := p.r.lbOut[y]; lb < promise {
+				promise = lb
+			}
+		}
+		// An all-terminated channel needs no promise: its per-edge
+		// NULL(∞) messages have already closed the receiving ports.
+		if promise != TimeInfinity && promise > p.lastNull[i] {
+			p.lastNull[i] = promise
+			p.nullMsgs++
+			p.send(to, msg{kind: msgNullChan, src: p.id, time: promise})
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+
+	"hjdes/internal/circuit"
+)
+
+func testCircuits() []*circuit.Circuit {
+	return []*circuit.Circuit{
+		circuit.C17(),
+		circuit.FullAdder(),
+		circuit.KoggeStone(16),
+		circuit.KoggeStone(64),
+		circuit.TreeMultiplier(8),
+		circuit.BrentKung(16),
+		circuit.ParityChain(24),
+		circuit.RandomDAG(circuit.RandomConfig{Inputs: 6, Gates: 90, Outputs: 4, Seed: 7}),
+	}
+}
+
+// TestPartitionInvariants checks the structural contract of a Plan for
+// many circuits and partition counts: complete disjoint assignment,
+// accurate sizes, cut edges exactly the cross-partition circuit edges,
+// channels aggregating them with the minimum lookahead.
+func TestPartitionInvariants(t *testing.T) {
+	for _, c := range testCircuits() {
+		for _, k := range []int{1, 2, 3, 4, 8, 16} {
+			p, err := Partition(c, k)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", c.Name, k, err)
+			}
+			if p.K < 1 || p.K > k || (k <= c.NumNodes() && p.K != k) {
+				t.Fatalf("%s k=%d: plan K=%d", c.Name, k, p.K)
+			}
+			if len(p.Assign) != c.NumNodes() {
+				t.Fatalf("%s k=%d: %d assignments for %d nodes", c.Name, k, len(p.Assign), c.NumNodes())
+			}
+			sizes := make([]int, p.K)
+			for id, part := range p.Assign {
+				if part < 0 || part >= p.K {
+					t.Fatalf("%s k=%d: node %d assigned to %d", c.Name, k, id, part)
+				}
+				sizes[part]++
+			}
+			if !reflect.DeepEqual(sizes, p.Sizes) {
+				t.Fatalf("%s k=%d: Sizes=%v, recount=%v", c.Name, k, p.Sizes, sizes)
+			}
+			for part, s := range sizes {
+				if s == 0 {
+					t.Fatalf("%s k=%d: partition %d is empty", c.Name, k, part)
+				}
+			}
+			// Cut edges must be exactly the cross-partition edges.
+			wantCut := 0
+			for i := range c.Nodes {
+				for _, d := range c.Nodes[i].Fanout {
+					if p.Assign[i] != p.Assign[d.Node] {
+						wantCut++
+					}
+				}
+			}
+			if len(p.CutEdges) != wantCut {
+				t.Fatalf("%s k=%d: %d cut edges, want %d", c.Name, k, len(p.CutEdges), wantCut)
+			}
+			inChannels := 0
+			for _, ch := range p.Channels {
+				if ch.From == ch.To {
+					t.Fatalf("%s k=%d: self-channel %d", c.Name, k, ch.From)
+				}
+				min := int64(0)
+				for i, ei := range ch.Edges {
+					ce := p.CutEdges[ei]
+					if p.Assign[ce.Src] != ch.From || p.Assign[ce.Dst] != ch.To {
+						t.Fatalf("%s k=%d: edge %v misfiled in channel %d->%d", c.Name, k, ce, ch.From, ch.To)
+					}
+					want := c.Nodes[ce.Src].Kind.Delay() + circuit.WireDelay
+					if ce.Lookahead != want {
+						t.Fatalf("%s k=%d: edge lookahead %d, want %d", c.Name, k, ce.Lookahead, want)
+					}
+					if i == 0 || ce.Lookahead < min {
+						min = ce.Lookahead
+					}
+				}
+				if ch.Lookahead != min {
+					t.Fatalf("%s k=%d: channel lookahead %d, want %d", c.Name, k, ch.Lookahead, min)
+				}
+				if ch.Lookahead <= 0 {
+					t.Fatalf("%s k=%d: nonpositive lookahead %d", c.Name, k, ch.Lookahead)
+				}
+				inChannels += len(ch.Edges)
+			}
+			if inChannels != len(p.CutEdges) {
+				t.Fatalf("%s k=%d: channels cover %d edges of %d", c.Name, k, inChannels, len(p.CutEdges))
+			}
+			if k == 1 && len(p.CutEdges) != 0 {
+				t.Fatalf("%s k=1 has %d cut edges", c.Name, len(p.CutEdges))
+			}
+			if bal := p.LoadBalance(); bal < 1.0-1e-9 {
+				t.Fatalf("%s k=%d: load balance %f < 1", c.Name, k, bal)
+			}
+			if f := p.EdgeCutFraction(); f < 0 || f > 1 {
+				t.Fatalf("%s k=%d: edge cut fraction %f", c.Name, k, f)
+			}
+		}
+	}
+}
+
+// TestPartitionDeterministic: same circuit + k must give the same plan.
+func TestPartitionDeterministic(t *testing.T) {
+	for _, k := range []int{2, 3, 8} {
+		c := circuit.KoggeStone(32)
+		a, err := Partition(c, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Partition(circuit.KoggeStone(32), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Assign, b.Assign) {
+			t.Fatalf("k=%d: nondeterministic assignment", k)
+		}
+		if !reflect.DeepEqual(a.CutEdges, b.CutEdges) {
+			t.Fatalf("k=%d: nondeterministic cut edges", k)
+		}
+	}
+}
+
+// TestPartitionClampsK: more partitions than nodes must clamp, not fail.
+func TestPartitionClampsK(t *testing.T) {
+	c := circuit.FullAdder()
+	p, err := Partition(c, 10*c.NumNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K != c.NumNodes() {
+		t.Fatalf("K=%d, want %d", p.K, c.NumNodes())
+	}
+	for _, s := range p.Sizes {
+		if s != 1 {
+			t.Fatalf("sizes %v with K=nodes", p.Sizes)
+		}
+	}
+}
+
+func TestPartitionRejectsBadK(t *testing.T) {
+	for _, k := range []int{0, -1} {
+		if _, err := Partition(circuit.C17(), k); err == nil {
+			t.Fatalf("k=%d accepted", k)
+		}
+	}
+}
+
+// TestRefinementImprovesCut: on a structured circuit, refined partitions
+// should not cut more edges than naive ID-order chunking.
+func TestRefinementImprovesCut(t *testing.T) {
+	c := circuit.KoggeStone(64)
+	p, err := Partition(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive chunking by raw node ID.
+	n := c.NumNodes()
+	naive := 0
+	chunk := (n + 3) / 4
+	for i := range c.Nodes {
+		for _, d := range c.Nodes[i].Fanout {
+			if i/chunk != int(d.Node)/chunk {
+				naive++
+			}
+		}
+	}
+	if len(p.CutEdges) > naive {
+		t.Fatalf("refined cut %d worse than naive chunk cut %d", len(p.CutEdges), naive)
+	}
+	if p.LoadBalance() > 1.35 {
+		t.Fatalf("load balance %f too skewed", p.LoadBalance())
+	}
+}
+
+// TestLevelOrderIsTopological: LevelOrder must place every edge's source
+// before its destination.
+func TestLevelOrderIsTopological(t *testing.T) {
+	for _, c := range testCircuits() {
+		order := LevelOrder(c)
+		pos := make([]int, c.NumNodes())
+		for i, id := range order {
+			pos[id] = i
+		}
+		for i := range c.Nodes {
+			for _, d := range c.Nodes[i].Fanout {
+				if pos[i] >= pos[d.Node] {
+					t.Fatalf("%s: edge %d->%d violates LevelOrder", c.Name, i, d.Node)
+				}
+			}
+		}
+	}
+}
