@@ -10,12 +10,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"strings"
 
+	"hjdes/internal/chaos"
 	"hjdes/internal/circuit"
 	"hjdes/internal/core"
 	"hjdes/internal/cspec"
@@ -34,6 +37,10 @@ var (
 	statsFlag   = flag.Bool("stats", false, "print runtime scheduler statistics")
 	vcdFlag     = flag.String("vcd", "", "write output waveforms to this VCD file (implies recording outputs)")
 	hotFlag     = flag.Int("hotspots", 0, "print the N busiest nodes by processed events")
+	timeoutFlag = flag.Duration("timeout", 0, "fail the run after this long (0 = unbounded)")
+	stallFlag   = flag.Duration("stall", 0, "fail the run if the engine makes no progress for this long (0 = no watchdog)")
+	chaosFlag   = flag.String("chaos", "", "lp: fault-injection spec, e.g. seed=7,delay=0.3,dup=0.2,kill=0.1 (fields: seed delay dup kill maxkills maxheld dropnulls)")
+	inboxFlag   = flag.Int("inbox-cap", 0, "lp: per-LP inbox capacity (0 = default)")
 	// Ablation toggles (HJ engine).
 	pqFlag       = flag.Bool("pernode-pq", false, "hj: per-node priority queue instead of per-port deques")
 	nodeLockFlag = flag.Bool("pernode-locks", false, "hj: per-node locks instead of per-port locks")
@@ -64,15 +71,30 @@ func main() {
 		GlobalIsolated: *isoFlag,
 		MutexLocks:     *mutexFlag,
 		TimeWarpWindow: *twWindow,
+		LPInboxCap:     *inboxFlag,
 		DiscardOutputs: !*verifyFlag && *vcdFlag == "",
 	}
-	eng, err := core.NewEngine(*engineFlag, opts)
-	if err != nil {
-		fatalf("%v", err)
+	var eng core.Engine
+	if *chaosFlag != "" {
+		if *engineFlag != "lp" {
+			fatalf("-chaos requires -engine lp (got %q)", *engineFlag)
+		}
+		ccfg, err := chaos.ParseSpec(*chaosFlag)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		eng = core.NewLPIntercepted(opts, chaos.New(ccfg).Factory())
+	} else {
+		var err error
+		eng, err = core.NewEngine(*engineFlag, opts)
+		if err != nil {
+			fatalf("%v", err)
+		}
 	}
 
 	fmt.Printf("circuit: %v\n", c)
 	period := c.SettleTime() + 10
+	scfg := core.SuperviseConfig{Timeout: *timeoutFlag, StallTimeout: *stallFlag}
 	if *verifyFlag {
 		rng := rand.New(rand.NewSource(*seedFlag))
 		waves := make([]map[string]circuit.Value, *wavesFlag)
@@ -83,8 +105,12 @@ func main() {
 			}
 			waves[w] = m
 		}
-		res, err := core.RunAndVerify(eng, c, waves, period)
+		stim := circuit.VectorWaves(c, waves, period)
+		res, err := core.Supervise(context.Background(), eng, c, stim, scfg)
 		if err != nil {
+			dieSupervised(err)
+		}
+		if err := core.VerifyAgainstOracle(c, waves, period, res); err != nil {
 			fatalf("verification failed: %v", err)
 		}
 		fmt.Printf("%v\nverify: OK (%d waves checked against the oracle)\n", res, len(waves))
@@ -94,14 +120,32 @@ func main() {
 		return
 	}
 	stim := circuit.RandomStimulus(c, *wavesFlag, period, *seedFlag)
-	res, err := eng.Run(c, stim)
+	res, err := core.Supervise(context.Background(), eng, c, stim, scfg)
 	if err != nil {
-		fatalf("%v", err)
+		dieSupervised(err)
 	}
 	fmt.Printf("initial events: %d\n%v\n", stim.NumEvents(), res)
 	printStats(res)
 	printHotspots(c, res)
 	writeVCD(res)
+}
+
+// dieSupervised reports a failed supervised run. Structured engine
+// failures (panic, timeout, stall) print their diagnostic snapshot and
+// exit with status 2, so scripts can tell a wedged engine from bad usage.
+func dieSupervised(err error) {
+	var ee *core.EngineError
+	if errors.As(err, &ee) {
+		fmt.Fprintf(os.Stderr, "dessim: %v\n", ee)
+		if ee.Diag != "" {
+			fmt.Fprintf(os.Stderr, "--- engine diagnostics ---\n%s", ee.Diag)
+		}
+		if ee.Reason == core.FailPanic && len(ee.Stack) > 0 {
+			fmt.Fprintf(os.Stderr, "--- panic stack ---\n%s", ee.Stack)
+		}
+		os.Exit(2)
+	}
+	fatalf("%v", err)
 }
 
 // printHotspots lists the busiest nodes when -hotspots is set.

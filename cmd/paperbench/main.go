@@ -26,6 +26,7 @@ var (
 	repeatsFlag = flag.Int("repeats", 3, "repetitions per configuration (paper: 20)")
 	workersFlag = flag.Int("maxworkers", 8, "maximum worker count in sweeps (paper: 32)")
 	seedFlag    = flag.Int64("seed", 1, "stimulus seed")
+	timeoutFlag = flag.Duration("timeout", 0, "fail any individual engine run after this long (0 = unbounded)")
 	csvFlag     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 )
 
@@ -54,6 +55,7 @@ func main() {
 		Repeats:    *repeatsFlag,
 		MaxWorkers: *workersFlag,
 		Seed:       *seedFlag,
+		Timeout:    *timeoutFlag,
 	}
 	switch *expFlag {
 	case "table1":

@@ -1,0 +1,240 @@
+package chaos_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"hjdes/internal/chaos"
+	"hjdes/internal/circuit"
+	"hjdes/internal/core"
+	"hjdes/internal/lp"
+)
+
+// seqReference runs the sequential oracle engine once for a circuit and
+// stimulus; every chaos run is compared against it bit for bit.
+func seqReference(t *testing.T, c *circuit.Circuit, stim *circuit.Stimulus) *core.Result {
+	t.Helper()
+	res, err := core.NewSequential(core.Options{}).Run(c, stim)
+	if err != nil {
+		t.Fatalf("seq reference: %v", err)
+	}
+	return res
+}
+
+func settleGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak after chaos run\n%s", buf)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestChaosNeverSilentlyWrong is the headline property test: 200 seeded
+// chaos runs across circuits, partition counts, and inbox capacities.
+// Every run must either verify bit-exactly against the sequential oracle
+// or fail loudly with a structured error. Hanging is impossible by
+// construction (Supervise timeout) and silent corruption fails the
+// comparison.
+func TestChaosNeverSilentlyWrong(t *testing.T) {
+	circuits := []*circuit.Circuit{
+		circuit.FullAdder(),
+		circuit.KoggeStone(8),
+		circuit.KoggeStone(16),
+		circuit.ParityChain(24),
+	}
+	partitions := []int{2, 3, 4}
+	inboxCaps := []int{0, 1, 2} // 0 = engine default
+
+	base := runtime.NumGoroutine()
+	runs, failures := 0, 0
+	for seed := int64(0); runs < 200; seed++ {
+		c := circuits[int(seed)%len(circuits)]
+		k := partitions[int(seed)%len(partitions)]
+		cap := inboxCaps[int(seed)%len(inboxCaps)]
+		stim := circuit.RandomStimulus(c, 4, c.SettleTime()+10, seed)
+		want := seqReference(t, c, stim)
+
+		inj := chaos.New(chaos.Config{
+			Seed:        seed,
+			DelayProb:   0.4,
+			DupNullProb: 0.3,
+			KillProb:    0.05,
+			MaxKills:    2,
+		})
+		eng := core.NewLPIntercepted(core.Options{
+			Partitions: k,
+			Paranoid:   true,
+			LPInboxCap: cap,
+		}, inj.Factory())
+
+		got, err := core.Supervise(context.Background(), eng, c, stim,
+			core.SuperviseConfig{Timeout: 30 * time.Second, StallTimeout: 10 * time.Second})
+		runs++
+		if err != nil {
+			// A loud, structured failure is acceptable; silence is not.
+			var ee *core.EngineError
+			if !errors.As(err, &ee) {
+				t.Fatalf("seed %d (%s k=%d cap=%d): unstructured failure: %v",
+					seed, c.Name, k, cap, err)
+			}
+			failures++
+			continue
+		}
+		if ok, diff := core.SameOutputs(want, got); !ok {
+			t.Fatalf("seed %d (%s k=%d cap=%d): SILENTLY WRONG under chaos %s: %s",
+				seed, c.Name, k, cap, inj.Stats.String(), diff)
+		}
+	}
+	settleGoroutines(t, base)
+	t.Logf("%d chaos runs: %d verified, %d failed loudly", runs, runs-failures, failures)
+	// Delay/dup/kill faults are all survivable by design; a high failure
+	// rate means the injector broke an invariant it promised to keep.
+	if failures > runs/10 {
+		t.Fatalf("%d/%d chaos runs failed; these fault classes should verify", failures, runs)
+	}
+}
+
+// TestChaosDeadlockWatchdog induces the classic conservative-PDES
+// deadlock — null messages suppressed on every edge — and requires the
+// stall watchdog to catch it with per-LP diagnostics instead of hanging.
+func TestChaosDeadlockWatchdog(t *testing.T) {
+	c := circuit.KoggeStone(16)
+	stim := circuit.RandomStimulus(c, 4, c.SettleTime()+10, 9)
+	base := runtime.NumGoroutine()
+
+	inj := chaos.New(chaos.Config{Seed: 9, DropNulls: true})
+	eng := core.NewLPIntercepted(core.Options{
+		Partitions: 4, Paranoid: true,
+	}, inj.Factory())
+
+	start := time.Now()
+	_, err := core.Supervise(context.Background(), eng, c, stim,
+		core.SuperviseConfig{Timeout: 30 * time.Second, StallTimeout: 300 * time.Millisecond})
+	var ee *core.EngineError
+	if !errors.As(err, &ee) {
+		t.Fatalf("deadlocked run returned %v, want *EngineError", err)
+	}
+	if ee.Reason != core.FailStall {
+		t.Fatalf("reason = %q, want %q (err: %v)", ee.Reason, core.FailStall, err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("watchdog took %v to trip a 300ms stall window", elapsed)
+	}
+	// The diagnostic snapshot must describe each LP: clock, inbox depth,
+	// and what it is blocked on.
+	for lp := 0; lp < 4; lp++ {
+		if !strings.Contains(ee.Diag, fmt.Sprintf("lp %d:", lp)) {
+			t.Fatalf("diagnostics missing lp %d:\n%s", lp, ee.Diag)
+		}
+	}
+	if !strings.Contains(ee.Diag, "blocked-recv") {
+		t.Fatalf("diagnostics show no blocked LP:\n%s", ee.Diag)
+	}
+	if inj.Stats.DroppedNulls.Load() == 0 {
+		t.Fatal("injector dropped no nulls; the deadlock was not induced")
+	}
+	settleGoroutines(t, base)
+}
+
+// TestChaosBackpressureInboxCapOne pins the bounded-inbox deadlock-freedom
+// claim at its most hostile setting: capacity-1 inboxes, delay chaos
+// holding events back, and partition counts that include a 2-LP cycle
+// (KoggeStone's quotient graph at k=2 is a two-node cycle).
+func TestChaosBackpressureInboxCapOne(t *testing.T) {
+	c := circuit.KoggeStone(16)
+	for _, k := range []int{2, 3, 8} {
+		for seed := int64(0); seed < 5; seed++ {
+			stim := circuit.RandomStimulus(c, 6, c.SettleTime()+10, 100+seed)
+			want := seqReference(t, c, stim)
+
+			inj := chaos.New(chaos.Config{Seed: seed, DelayProb: 0.5, DupNullProb: 0.2})
+			eng := core.NewLPIntercepted(core.Options{
+				Partitions: k, Paranoid: true, LPInboxCap: 1,
+			}, inj.Factory())
+
+			got, err := core.Supervise(context.Background(), eng, c, stim,
+				core.SuperviseConfig{Timeout: 30 * time.Second, StallTimeout: 10 * time.Second})
+			if err != nil {
+				t.Fatalf("k=%d seed=%d cap=1: %v (chaos %s)", k, seed, err, inj.Stats.String())
+			}
+			if ok, diff := core.SameOutputs(want, got); !ok {
+				t.Fatalf("k=%d seed=%d cap=1: wrong outputs: %s", k, seed, diff)
+			}
+		}
+	}
+}
+
+// TestChaosSpecRoundTrip keeps the -chaos flag grammar honest.
+func TestChaosSpecRoundTrip(t *testing.T) {
+	cfg, err := chaos.ParseSpec("seed=42,delay=0.25,dup=0.1,kill=0.05,maxkills=3,maxheld=8,dropnulls")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 42 || cfg.DelayProb != 0.25 || cfg.DupNullProb != 0.1 ||
+		cfg.KillProb != 0.05 || cfg.MaxKills != 3 || cfg.MaxHeld != 8 || !cfg.DropNulls {
+		t.Fatalf("ParseSpec = %+v", cfg)
+	}
+	if _, err := chaos.ParseSpec("delay=nope"); err == nil {
+		t.Fatal("bad probability parsed")
+	}
+	if _, err := chaos.ParseSpec("unknown=1"); err == nil {
+		t.Fatal("unknown key parsed")
+	}
+}
+
+// TestChaosDeterministicReplay pins the package's determinism contract:
+// fault decisions are a pure function of (seed, the LP's own send
+// sequence). Feeding an identical scripted sequence through two
+// same-seeded interceptors must yield an identical decision trace. (A
+// full engine run is NOT trace-reproducible — null-message traffic is
+// timing-dependent — which is exactly why the contract is stated per
+// send sequence, not per wall-clock run.)
+func TestChaosDeterministicReplay(t *testing.T) {
+	script := func(ic lp.Interceptor) string {
+		var sb strings.Builder
+		dump := func(tag string, ds []lp.Delivery) {
+			fmt.Fprintf(&sb, "%s:", tag)
+			for _, d := range ds {
+				fmt.Fprintf(&sb, " ->%d kind=%d node=%d t=%d", d.To, d.M.Kind, d.M.Node, d.M.Time)
+			}
+			sb.WriteByte('\n')
+		}
+		for i := 0; i < 200; i++ {
+			fmt.Fprintf(&sb, "crash=%v\n", ic.CrashPoint(0))
+			m := lp.Msg{Kind: lp.MsgEvent, Src: 0, Node: int32(i % 7), Port: int32(i % 2), Time: int64(i)}
+			if i%5 == 0 {
+				m.Kind = lp.MsgNullEdge
+			}
+			dump("send", ic.OnSend(0, int32(1+i%3), m))
+			if i%17 == 0 {
+				dump("block", ic.OnBlock(0))
+			}
+		}
+		dump("final-block", ic.OnBlock(0))
+		return sb.String()
+	}
+	cfg := chaos.Config{Seed: 17, DelayProb: 0.5, DupNullProb: 0.4, KillProb: 0.1, MaxKills: 2}
+	t1 := script(chaos.New(cfg).Factory()(4))
+	t2 := script(chaos.New(cfg).Factory()(4))
+	if t1 != t2 {
+		t.Fatalf("same seed, same send sequence, different decisions:\n--- run 1 ---\n%s--- run 2 ---\n%s", t1, t2)
+	}
+	// A different LP id must draw from an independent stream.
+	if t3 := script(chaos.New(cfg).Factory()(5)); t3 == t1 {
+		t.Fatal("different LP ids produced identical fault streams")
+	}
+}

@@ -43,12 +43,14 @@ const (
 	Nor                // 2-input NOR
 	Xor                // 2-input XOR
 	Xnor               // 2-input XNOR
+	Poison             // 1-input fault gate: Eval always panics (chaos/supervision testing)
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	Input: "INPUT", Output: "OUTPUT", Buf: "BUF", Not: "NOT",
 	And: "AND", Or: "OR", Nand: "NAND", Nor: "NOR", Xor: "XOR", Xnor: "XNOR",
+	Poison: "POISON",
 }
 
 func (k Kind) String() string {
@@ -72,6 +74,7 @@ func KindFromName(s string) (Kind, bool) {
 var kindArity = [numKinds]int{
 	Input: 0, Output: 1, Buf: 1, Not: 1,
 	And: 2, Or: 2, Nand: 2, Nor: 2, Xor: 2, Xnor: 2,
+	Poison: 1,
 }
 
 // Arity reports the number of input ports of the kind.
@@ -88,6 +91,7 @@ func (k Kind) IsGate() bool { return k != Input && k != Output }
 var kindDelay = [numKinds]int64{
 	Input: 0, Output: 0, Buf: 1, Not: 1,
 	And: 2, Or: 2, Nand: 2, Nor: 2, Xor: 3, Xnor: 3,
+	Poison: 1,
 }
 
 // Delay reports the processing delay of the kind.
@@ -117,6 +121,8 @@ func (k Kind) Eval(a, b Value) Value {
 		return a ^ b
 	case Xnor:
 		return (a ^ b) ^ 1
+	case Poison:
+		panic("circuit: poison gate evaluated")
 	default:
 		panic(fmt.Sprintf("circuit: Eval on invalid kind %d", k))
 	}

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hjdes/internal/circuit"
@@ -15,6 +18,12 @@ import (
 // goroutine per node connected by buffered channels. Chandy–Misra NULL
 // messages terminate each actor; the DAG property guarantees blocking
 // sends cannot deadlock (messages only flow downstream).
+//
+// Failure containment: a panic inside one actor closes a shared stop
+// channel; every other actor observes it at its next mailbox send or
+// receive and exits, so the run returns a structured *EngineError naming
+// the actor instead of crashing the process or leaking goroutines. The
+// same stop channel implements context cancellation for RunContext.
 type actorEngine struct {
 	opts Options
 }
@@ -36,7 +45,27 @@ type actorMsg struct {
 // upstream actors from blocking on every send.
 const actorMailboxCap = 512
 
+// actorRun is the shared failure state of one run.
+type actorRun struct {
+	stop     chan struct{} // closed on first panic or cancellation
+	stopOnce sync.Once
+	failure  atomic.Pointer[EngineError]
+}
+
+func (a *actorRun) halt() { a.stopOnce.Do(func() { close(a.stop) }) }
+
 func (e *actorEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
+	return e.run(nil, c, stim)
+}
+
+// RunContext runs the simulation under ctx: on cancellation every actor
+// exits at its next mailbox operation and the context's cause is
+// returned.
+func (e *actorEngine) RunContext(ctx context.Context, c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
+	return e.run(ctx, c, stim)
+}
+
+func (e *actorEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
 	start := time.Now()
 	s, err := newSimState(c, stim, e.opts)
 	if err != nil {
@@ -51,6 +80,18 @@ func (e *actorEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, 
 		}
 	}
 
+	a := &actorRun{stop: make(chan struct{})}
+	defer a.halt() // reaps the cancellation watcher on every return path
+	if ctx != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				a.halt()
+			case <-a.stop:
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for i := range s.nodes {
 		ns := &s.nodes[i]
@@ -60,26 +101,50 @@ func (e *actorEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			e.runActor(s, ns, boxes, record)
+			defer func() {
+				if r := recover(); r != nil {
+					a.failure.CompareAndSwap(nil, &EngineError{
+						Engine: "actor", Unit: fmt.Sprintf("node %d", ns.id),
+						Reason: FailPanic, Value: r, Stack: debug.Stack(),
+					})
+					a.halt()
+				}
+			}()
+			e.runActor(s, ns, boxes, a.stop, record)
 		}()
 	}
 
 	// Input nodes flood from the driver goroutine: all their local
 	// events are ready (no input ports), then the NULL.
+flood:
 	for _, id := range c.Inputs {
 		ns := &s.nodes[id]
 		for _, ev := range ns.inputOutgoing() {
 			for _, d := range ns.fanout {
-				boxes[d.node] <- actorMsg{ev: ev, port: d.port}
+				select {
+				case boxes[d.node] <- actorMsg{ev: ev, port: d.port}:
+				case <-a.stop:
+					break flood
+				}
 			}
 		}
 		for _, d := range ns.fanout {
-			boxes[d.node] <- actorMsg{port: d.port, null: true}
+			select {
+			case boxes[d.node] <- actorMsg{port: d.port, null: true}:
+			case <-a.stop:
+				break flood
+			}
 		}
 		ns.nullSent = true
 	}
 	wg.Wait()
 
+	if ee := a.failure.Load(); ee != nil {
+		return nil, ee
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return nil, context.Cause(ctx)
+	}
 	if bad := s.checkAllNullSent(); bad >= 0 {
 		return nil, fmt.Errorf("core: actor simulation ended with node %d not terminated", bad)
 	}
@@ -98,14 +163,20 @@ func (e *actorEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, 
 }
 
 // runActor is one node's message loop: absorb mailbox messages, process
-// whatever became ready, and exit after propagating the NULL.
-func (e *actorEngine) runActor(s *simState, ns *nodeState, boxes []chan actorMsg, record bool) {
+// whatever became ready, and exit after propagating the NULL (or when the
+// run is stopped).
+func (e *actorEngine) runActor(s *simState, ns *nodeState, boxes []chan actorMsg, stop <-chan struct{}, record bool) {
 	box := boxes[ns.id]
 	var buf []portEvent
 	for !ns.nullSent {
 		// Block for one message, then drain whatever else is queued so
 		// ready events are processed in batches.
-		msg := <-box
+		var msg actorMsg
+		select {
+		case msg = <-box:
+		case <-stop:
+			return
+		}
 		for {
 			if msg.null {
 				ns.receiveNull(msg.port)
@@ -123,13 +194,21 @@ func (e *actorEngine) runActor(s *simState, ns *nodeState, boxes []chan actorMsg
 		for _, pe := range buf {
 			if out, ok := ns.processOne(pe, record); ok {
 				for _, d := range ns.fanout {
-					boxes[d.node] <- actorMsg{ev: out, port: d.port}
+					select {
+					case boxes[d.node] <- actorMsg{ev: out, port: d.port}:
+					case <-stop:
+						return
+					}
 				}
 			}
 		}
 		if ns.drained() {
 			for _, d := range ns.fanout {
-				boxes[d.node] <- actorMsg{port: d.port, null: true}
+				select {
+				case boxes[d.node] <- actorMsg{port: d.port, null: true}:
+				case <-stop:
+					return
+				}
 			}
 			ns.nullSent = true
 		}

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"hjdes/internal/circuit"
@@ -27,6 +30,7 @@ import (
 type hjEngine struct {
 	opts Options
 	name string
+	rt   atomic.Pointer[hj.Runtime] // current run's runtime, for Progress
 }
 
 // NewHJ returns the paper's parallel engine. The zero Options value gives
@@ -65,6 +69,16 @@ func NewHJ(opts Options) Engine {
 
 func (e *hjEngine) Name() string { return e.name }
 
+// Progress exposes the scheduler's spawn counter as the stall watchdog's
+// activity signal: a live simulation keeps spawning node tasks.
+func (e *hjEngine) Progress() uint64 {
+	rt := e.rt.Load()
+	if rt == nil {
+		return 0
+	}
+	return uint64(rt.Stats().Spawns)
+}
+
 // hjNodePlan is the precomputed per-node locking plan: the node's lock
 // set in ascending lock-ID order (the paper's livelock-avoidance order),
 // with the node's own locks identified for the early-release step, plus
@@ -85,6 +99,18 @@ type hjRun struct {
 }
 
 func (e *hjEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
+	return e.run(nil, c, stim)
+}
+
+// RunContext runs the simulation under ctx: on cancellation the hj
+// runtime's workers exit at their next steal/park point and the context's
+// cause is returned. A panic inside a task becomes an *EngineError naming
+// the worker instead of crashing the process.
+func (e *hjEngine) RunContext(ctx context.Context, c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
+	return e.run(ctx, c, stim)
+}
+
+func (e *hjEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
 	start := time.Now()
 	s, err := newSimState(c, stim, e.opts)
 	if err != nil {
@@ -98,8 +124,23 @@ func (e *hjEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, err
 
 	rt := hj.NewRuntime(hj.Config{Workers: e.opts.workers()})
 	defer rt.Shutdown()
+	e.rt.Store(rt)
 	r.bufs = make([][]portEvent, rt.NumWorkers())
 	before := rt.Stats()
+
+	// Propagate external cancellation into the runtime; the watcher is
+	// reaped on return.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	if ctx != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				rt.Cancel()
+			case <-watchDone:
+			}
+		}()
+	}
 
 	// Preallocate the per-node RunNode closure so respawns do not
 	// allocate, then launch one task per input node (Algorithm 2, RUN()).
@@ -107,11 +148,25 @@ func (e *hjEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, err
 		ns := &s.nodes[i]
 		r.bindTask(ns)
 	}
-	rt.Finish(func(ctx *hj.Ctx) {
+	rt.Finish(func(hctx *hj.Ctx) {
 		for _, id := range c.Inputs {
-			r.schedule(ctx, int32(id))
+			r.schedule(hctx, int32(id))
 		}
 	})
+
+	if err := rt.Err(); err != nil {
+		var tp *hj.TaskPanic
+		if errors.As(err, &tp) {
+			return nil, &EngineError{
+				Engine: e.name, Unit: fmt.Sprintf("worker %d", tp.Worker),
+				Reason: FailPanic, Value: tp.Value, Stack: tp.Stack, Err: tp,
+			}
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return nil, context.Cause(ctx)
+		}
+		return nil, err
+	}
 
 	if bad := s.checkAllNullSent(); bad >= 0 {
 		return nil, fmt.Errorf("core: hj simulation ended with node %d not terminated", bad)

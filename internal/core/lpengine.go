@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"time"
 
@@ -16,14 +19,37 @@ import (
 // null-message protocol (internal/lp). Unlike the shared-memory engines,
 // no mutable node state is shared between workers — this is the
 // architecture that shards a simulation across processes or machines.
+//
+// The engine implements ContextEngine (cancellation propagates into every
+// LP goroutine), ProgressReporter and Diagnoser (via an lp.Probe), so a
+// supervised run can be timed out, stall-detected and diagnosed.
 type lpEngine struct {
-	opts Options
+	opts  Options
+	newIC func(lp int) lp.Interceptor
+	probe lp.Probe
 }
 
 // NewLP returns the partitioned logical-process engine.
 func NewLP(opts Options) Engine { return &lpEngine{opts: opts} }
 
+// NewLPIntercepted returns an LP engine whose logical processes send
+// every cross-partition message through an interceptor built by newIC
+// (one per LP). This is the hook the deterministic fault injector in
+// internal/chaos plugs into; newIC may return nil for LPs to leave
+// untouched.
+func NewLPIntercepted(opts Options, newIC func(lp int) lp.Interceptor) Engine {
+	return &lpEngine{opts: opts, newIC: newIC}
+}
+
 func (e *lpEngine) Name() string { return "lp" }
+
+// Progress exposes the run's monotonic activity counter for the stall
+// watchdog; zero when no run is active.
+func (e *lpEngine) Progress() uint64 { return e.probe.Progress() }
+
+// Diagnose renders the per-LP state snapshot (state, clock, inbox depth)
+// of the most recent run.
+func (e *lpEngine) Diagnose() string { return e.probe.Snapshot() }
 
 // partitions resolves the LP count: Partitions, else Workers, else
 // GOMAXPROCS.
@@ -38,16 +64,37 @@ func (e *lpEngine) partitions() int {
 }
 
 func (e *lpEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
+	return e.run(nil, c, stim)
+}
+
+// RunContext runs the simulation under ctx: on cancellation every LP
+// unwinds at its next blocking point and the context's cause is returned.
+func (e *lpEngine) RunContext(ctx context.Context, c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
+	return e.run(ctx, c, stim)
+}
+
+func (e *lpEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
 	start := time.Now()
 	plan, err := partition.Partition(c, e.partitions())
 	if err != nil {
 		return nil, err
 	}
 	res, err := lp.Run(c, stim, plan, lp.Config{
-		Record:   !e.opts.DiscardOutputs,
-		Paranoid: e.opts.Paranoid,
+		Record:         !e.opts.DiscardOutputs,
+		Paranoid:       e.opts.Paranoid,
+		InboxCap:       e.opts.LPInboxCap,
+		Ctx:            ctx,
+		NewInterceptor: e.newIC,
+		Probe:          &e.probe,
 	})
 	if err != nil {
+		var pe *lp.PanicError
+		if errors.As(err, &pe) {
+			return nil, &EngineError{
+				Engine: e.Name(), Unit: fmt.Sprintf("lp %d", pe.LP),
+				Reason: FailPanic, Value: pe.Value, Stack: pe.Stack, Err: pe,
+			}
+		}
 		return nil, err
 	}
 	outputs := make(map[string][]TimedValue, len(res.Outputs))

@@ -47,6 +47,11 @@ type Options struct {
 	// other engines.
 	Partitions int
 
+	// LPInboxCap bounds each logical process's inbox channel (LP engine
+	// only). Zero means lp.DefaultInboxCap. Small values exercise the
+	// protocol's backpressure path; the chaos tests run with capacity 1.
+	LPInboxCap int
+
 	// TimeWarpWindow bounds the optimistic engine's speculation: a node
 	// never runs more than this far ahead of its earliest pending event.
 	// Zero means unbounded (pure Time Warp). Ignored by other engines.

@@ -4,52 +4,65 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // EngineFactory builds an engine from run options.
 type EngineFactory func(Options) Engine
 
-// engineRegistry is the central name → factory table. Every engine
-// registers here once; cmd/dessim, the harness and the tests all resolve
-// engines through it instead of keeping their own switch statements.
-var engineRegistry = map[string]EngineFactory{
-	"seq":            NewSequential,
-	"seq-pq":         NewSequentialPQ,
-	"hj":             NewHJ,
-	"galois":         NewGalois,
-	"galois-fine":    NewGaloisFine,
-	"galois-ordered": NewOrdered,
-	"actor":          NewActor,
-	"timewarp":       NewTimeWarp,
-	"lp":             NewLP,
-}
+// engineRegistry is the central name → factory table, guarded by
+// registryMu so engines may be registered and resolved from concurrent
+// goroutines (harness sweeps, parallel tests). Every engine registers
+// here once; cmd/dessim, the harness and the tests all resolve engines
+// through it instead of keeping their own switch statements.
+var (
+	registryMu     sync.RWMutex
+	engineRegistry = map[string]EngineFactory{
+		"seq":            NewSequential,
+		"seq-pq":         NewSequentialPQ,
+		"hj":             NewHJ,
+		"galois":         NewGalois,
+		"galois-fine":    NewGaloisFine,
+		"galois-ordered": NewOrdered,
+		"actor":          NewActor,
+		"timewarp":       NewTimeWarp,
+		"lp":             NewLP,
+	}
+)
 
 // RegisterEngine adds (or replaces) a named engine factory. It is meant
 // for engines living outside this package; registering a nil factory or
-// an empty name panics.
+// an empty name panics. Safe for concurrent use.
 func RegisterEngine(name string, f EngineFactory) {
 	if name == "" || f == nil {
 		panic("core: RegisterEngine with empty name or nil factory")
 	}
+	registryMu.Lock()
 	engineRegistry[name] = f
+	registryMu.Unlock()
 }
 
 // NewEngine builds the named engine with the given options. The error
-// lists the known engine names.
+// lists the known engine names. Safe for concurrent use.
 func NewEngine(name string, opts Options) (Engine, error) {
+	registryMu.RLock()
 	f, ok := engineRegistry[name]
+	registryMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("core: unknown engine %q (known: %s)", name, strings.Join(EngineNames(), " | "))
 	}
 	return f(opts), nil
 }
 
-// EngineNames returns every registered engine name, sorted.
+// EngineNames returns every registered engine name, sorted. Safe for
+// concurrent use.
 func EngineNames() []string {
+	registryMu.RLock()
 	names := make([]string, 0, len(engineRegistry))
 	for name := range engineRegistry {
 		names = append(names, name)
 	}
+	registryMu.RUnlock()
 	sort.Strings(names)
 	return names
 }

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentAccess hammers the engine registry from many
+// goroutines; run under -race this pins down the RWMutex guarantees of
+// RegisterEngine / NewEngine / EngineNames.
+func TestRegistryConcurrentAccess(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			// All writers race on one name: replacement is legal, and a
+			// single leftover entry keeps EngineNames clean for the other
+			// tests in this package.
+			for j := 0; j < 50; j++ {
+				RegisterEngine("scratch", NewSequential)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if _, err := NewEngine("seq", Options{}); err != nil {
+					t.Errorf("NewEngine(seq): %v", err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if names := EngineNames(); len(names) == 0 {
+					t.Error("EngineNames returned nothing")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The scratch name stays registered (the registry has no Unregister
+	// on purpose) and must resolve.
+	if _, err := NewEngine("scratch", Options{}); err != nil {
+		t.Fatalf("registered scratch engine did not resolve: %v", err)
+	}
+	if _, err := NewEngine("no-such-engine", Options{}); err == nil {
+		t.Fatal("unknown engine name resolved")
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -130,6 +132,18 @@ type twRun struct {
 }
 
 func (e *twEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
+	return e.run(nil, c, stim)
+}
+
+// RunContext runs the simulation under ctx, checked at every BSP barrier:
+// on cancellation the round loop exits (stopping the hj workers when
+// parallel) and the context's cause is returned. A panic inside a
+// parallel round becomes an *EngineError naming the worker.
+func (e *twEngine) RunContext(ctx context.Context, c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
+	return e.run(ctx, c, stim)
+}
+
+func (e *twEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
 	start := time.Now()
 	if err := stim.Validate(c); err != nil {
 		return nil, err
@@ -168,6 +182,17 @@ func (e *twEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, err
 	if e.opts.Workers != 1 {
 		rt = hj.NewRuntime(hj.Config{Workers: e.opts.workers()})
 		defer rt.Shutdown()
+		if ctx != nil {
+			watchDone := make(chan struct{})
+			defer close(watchDone)
+			go func() {
+				select {
+				case <-ctx.Done():
+					rt.Cancel()
+				case <-watchDone:
+				}
+			}()
+		}
 	}
 
 	// Round 0: input terminals flood their whole schedules (sources are
@@ -186,13 +211,29 @@ func (e *twEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, err
 	bank := 0 // the bank written during round 0 above
 	n := len(r.nodes)
 	for {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, context.Cause(ctx)
+		}
 		// Swap banks: this round absorbs from `bank`, writes to 1-bank.
 		read, write := bank, 1-bank
 		step := func(i int) { r.nodes[i].round(r, read, write) }
 		if rt != nil {
-			rt.Finish(func(ctx *hj.Ctx) {
-				ctx.ForAsync(n, 4, func(_ *hj.Ctx, i int) { step(i) })
+			rt.Finish(func(hctx *hj.Ctx) {
+				hctx.ForAsync(n, 4, func(_ *hj.Ctx, i int) { step(i) })
 			})
+			if err := rt.Err(); err != nil {
+				var tp *hj.TaskPanic
+				if errors.As(err, &tp) {
+					return nil, &EngineError{
+						Engine: e.name, Unit: fmt.Sprintf("worker %d", tp.Worker),
+						Reason: FailPanic, Value: tp.Value, Stack: tp.Stack, Err: tp,
+					}
+				}
+				if ctx != nil && ctx.Err() != nil {
+					return nil, context.Cause(ctx)
+				}
+				return nil, err
+			}
 		} else {
 			for i := 0; i < n; i++ {
 				step(i)

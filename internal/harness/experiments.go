@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 
+	"time"
+
 	"hjdes/internal/circuit"
 	"hjdes/internal/core"
 	"hjdes/internal/netdes"
@@ -24,6 +26,10 @@ type Config struct {
 	Workers []int
 	// Seed drives stimulus generation.
 	Seed int64
+	// Timeout bounds each individual engine run (0 = unbounded); a
+	// wedged run fails its experiment with a structured error instead of
+	// hanging the suite.
+	Timeout time.Duration
 	// Circuits optionally replaces the paper's three input circuits in
 	// every experiment (useful for benchmarking your own circuits, and
 	// for fast test configurations). Defaults to PaperCircuits.
@@ -172,11 +178,11 @@ func Table2(cfg Config) (*Table, map[string]float64, error) {
 	for _, pc := range cfg.circuits() {
 		c := pc.Build()
 		stim := cfg.stimulus(c, pc)
-		mSeq, err := Measure(Spec{Label: pc.Name + "/seq", Circuit: c, Stim: stim, Factory: seqFactory, Repeats: cfg.repeats()})
+		mSeq, err := Measure(Spec{Label: pc.Name + "/seq", Circuit: c, Stim: stim, Factory: seqFactory, Repeats: cfg.repeats(), Timeout: cfg.Timeout})
 		if err != nil {
 			return nil, nil, err
 		}
-		mPQ, err := Measure(Spec{Label: pc.Name + "/seq-pq", Circuit: c, Stim: stim, Factory: seqPQFactory, Repeats: cfg.repeats()})
+		mPQ, err := Measure(Spec{Label: pc.Name + "/seq-pq", Circuit: c, Stim: stim, Factory: seqPQFactory, Repeats: cfg.repeats(), Timeout: cfg.Timeout})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -225,7 +231,7 @@ func FigSweep(cfg Config, figure int) (*Table, error) {
 	c := pc.Build()
 	stim := cfg.stimulus(c, pc)
 
-	base, err := Measure(Spec{Label: pc.Name + "/seq-pq", Circuit: c, Stim: stim, Factory: seqPQFactory, Repeats: cfg.repeats()})
+	base, err := Measure(Spec{Label: pc.Name + "/seq-pq", Circuit: c, Stim: stim, Factory: seqPQFactory, Repeats: cfg.repeats(), Timeout: cfg.Timeout})
 	if err != nil {
 		return nil, err
 	}
@@ -236,11 +242,11 @@ func FigSweep(cfg Config, figure int) (*Table, error) {
 			figure, pc.Name, baseline, cfg.Scale, cfg.repeats()),
 		Headers: []string{"workers", "hj_min_s", "hj_speedup", "galois_min_s", "galois_speedup", "hj_reduction_%"},
 	}
-	hjPts, err := Sweep(pc.Name+"/hj", c, stim, hjFactory, cfg.workerCounts(), cfg.repeats())
+	hjPts, err := Sweep(pc.Name+"/hj", c, stim, hjFactory, cfg.workerCounts(), cfg.repeats(), cfg.Timeout)
 	if err != nil {
 		return nil, err
 	}
-	gPts, err := Sweep(pc.Name+"/galois", c, stim, galoisFactory, cfg.workerCounts(), cfg.repeats())
+	gPts, err := Sweep(pc.Name+"/galois", c, stim, galoisFactory, cfg.workerCounts(), cfg.repeats(), cfg.Timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -271,7 +277,7 @@ func Fig7(cfg Config) (*Table, error) {
 		c := pc.Build()
 		stim := cfg.stimulus(c, pc)
 		for _, f := range []EngineFactory{hjFactory, galoisFactory} {
-			m, err := Measure(Spec{Label: pc.Name, Circuit: c, Stim: stim, Factory: f, Workers: workers, Repeats: cfg.repeats()})
+			m, err := Measure(Spec{Label: pc.Name, Circuit: c, Stim: stim, Factory: f, Workers: workers, Repeats: cfg.repeats(), Timeout: cfg.Timeout})
 			if err != nil {
 				return nil, err
 			}
@@ -314,7 +320,7 @@ func Ablations(cfg Config) (*Table, error) {
 	}
 	var best float64
 	for i, v := range variants {
-		m, err := Measure(Spec{Label: v.desc, Circuit: c, Stim: stim, Factory: v.f, Workers: workers, Repeats: cfg.repeats()})
+		m, err := Measure(Spec{Label: v.desc, Circuit: c, Stim: stim, Factory: v.f, Workers: workers, Repeats: cfg.repeats(), Timeout: cfg.Timeout})
 		if err != nil {
 			return nil, err
 		}
@@ -378,7 +384,7 @@ func TimeWarpExp(cfg Config) (*Table, error) {
 	for _, pc := range cfg.circuits() {
 		c := pc.Build()
 		stim := twCfg.stimulus(c, pc)
-		hjM, err := Measure(Spec{Label: pc.Name + "/hj", Circuit: c, Stim: stim, Factory: hjFactory, Workers: workers, Repeats: cfg.repeats()})
+		hjM, err := Measure(Spec{Label: pc.Name + "/hj", Circuit: c, Stim: stim, Factory: hjFactory, Workers: workers, Repeats: cfg.repeats(), Timeout: cfg.Timeout})
 		if err != nil {
 			return nil, err
 		}
@@ -422,11 +428,11 @@ func OrderedExp(cfg Config) (*Table, error) {
 	for _, pc := range cfg.circuits() {
 		c := pc.Build()
 		stim := ordCfg.stimulus(c, pc)
-		un, err := Measure(Spec{Label: pc.Name + "/unordered", Circuit: c, Stim: stim, Factory: galoisFactory, Workers: workers, Repeats: cfg.repeats()})
+		un, err := Measure(Spec{Label: pc.Name + "/unordered", Circuit: c, Stim: stim, Factory: galoisFactory, Workers: workers, Repeats: cfg.repeats(), Timeout: cfg.Timeout})
 		if err != nil {
 			return nil, err
 		}
-		or, err := Measure(Spec{Label: pc.Name + "/ordered", Circuit: c, Stim: stim, Factory: orderedFactory, Workers: workers, Repeats: cfg.repeats()})
+		or, err := Measure(Spec{Label: pc.Name + "/ordered", Circuit: c, Stim: stim, Factory: orderedFactory, Workers: workers, Repeats: cfg.repeats(), Timeout: cfg.Timeout})
 		if err != nil {
 			return nil, err
 		}
@@ -456,7 +462,7 @@ func LPExp(cfg Config) (*Table, error) {
 		c := pc.Build()
 		stim := cfg.stimulus(c, pc)
 		for _, k := range cfg.workerCounts() {
-			hjM, err := Measure(Spec{Label: pc.Name + "/hj", Circuit: c, Stim: stim, Factory: hjFactory, Workers: k, Repeats: cfg.repeats()})
+			hjM, err := Measure(Spec{Label: pc.Name + "/hj", Circuit: c, Stim: stim, Factory: hjFactory, Workers: k, Repeats: cfg.repeats(), Timeout: cfg.Timeout})
 			if err != nil {
 				return nil, err
 			}

@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -28,6 +29,10 @@ type Spec struct {
 	Factory EngineFactory
 	Workers int
 	Repeats int // paper: 20
+	// Timeout bounds each individual run (0 = unbounded): a wedged
+	// engine fails the measurement with a structured error instead of
+	// hanging the whole suite.
+	Timeout time.Duration
 }
 
 // Measurement is the repeated-run summary of one Spec.
@@ -41,7 +46,9 @@ type Measurement struct {
 
 // Measure runs the spec Repeats times and collects timing statistics.
 // Output recording is disabled during measurement; a RunAndVerify pass
-// belongs in the tests, not the timed loop.
+// belongs in the tests, not the timed loop. Runs are supervised: a panic
+// inside an engine fails the measurement with a structured error, and
+// Spec.Timeout bounds each run.
 func Measure(spec Spec) (*Measurement, error) {
 	repeats := spec.Repeats
 	if repeats <= 0 {
@@ -55,7 +62,8 @@ func Measure(spec Spec) (*Measurement, error) {
 		Times:   stats.New(),
 	}
 	for i := 0; i < repeats; i++ {
-		res, err := eng.Run(spec.Circuit, spec.Stim)
+		res, err := core.Supervise(context.Background(), eng, spec.Circuit, spec.Stim,
+			core.SuperviseConfig{Timeout: spec.Timeout})
 		if err != nil {
 			return nil, fmt.Errorf("harness: %s run %d: %w", spec.Label, i, err)
 		}
@@ -80,13 +88,14 @@ type SweepPoint struct {
 	M       *Measurement
 }
 
-// Sweep measures the factory across the given worker counts.
-func Sweep(label string, c *circuit.Circuit, stim *circuit.Stimulus, f EngineFactory, workerCounts []int, repeats int) ([]SweepPoint, error) {
+// Sweep measures the factory across the given worker counts; timeout
+// bounds each individual run (0 = unbounded).
+func Sweep(label string, c *circuit.Circuit, stim *circuit.Stimulus, f EngineFactory, workerCounts []int, repeats int, timeout time.Duration) ([]SweepPoint, error) {
 	points := make([]SweepPoint, 0, len(workerCounts))
 	for _, w := range workerCounts {
 		m, err := Measure(Spec{
 			Label: fmt.Sprintf("%s/w%d", label, w), Circuit: c, Stim: stim,
-			Factory: f, Workers: w, Repeats: repeats,
+			Factory: f, Workers: w, Repeats: repeats, Timeout: timeout,
 		})
 		if err != nil {
 			return nil, err

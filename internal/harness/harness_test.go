@@ -62,7 +62,7 @@ func TestMeasureDefaultsRepeats(t *testing.T) {
 func TestSweepShape(t *testing.T) {
 	c := circuit.KoggeStone(4)
 	stim := circuit.RandomStimulus(c, 2, c.SettleTime()+10, 1)
-	pts, err := Sweep("ks4", c, stim, hjFactory, []int{1, 2, 4}, 2)
+	pts, err := Sweep("ks4", c, stim, hjFactory, []int{1, 2, 4}, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

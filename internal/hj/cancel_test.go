@@ -1,0 +1,125 @@
+package hj
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// settle waits for worker goroutines to drain back to the baseline.
+func settle(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak after cancel\n%s", buf)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestTaskPanicContained: a panicking task must not crash the process;
+// Finish returns, Err carries a TaskPanic with worker id and stack, and
+// the workers exit rather than leak.
+func TestTaskPanicContained(t *testing.T) {
+	base := runtime.NumGoroutine()
+	rt := NewRuntime(Config{Workers: 4})
+	defer rt.Shutdown()
+	rt.Finish(func(ctx *Ctx) {
+		ctx.Async(func(*Ctx) { panic("kaboom") })
+	})
+	err := rt.Err()
+	var tp *TaskPanic
+	if !errors.As(err, &tp) {
+		t.Fatalf("Err() = %v, want *TaskPanic", err)
+	}
+	if tp.Value != "kaboom" || len(tp.Stack) == 0 || tp.Worker < 0 || tp.Worker >= 4 {
+		t.Fatalf("TaskPanic = {worker %d, value %v, stack %d bytes}", tp.Worker, tp.Value, len(tp.Stack))
+	}
+	rt.Shutdown()
+	settle(t, base)
+}
+
+// TestCancelUnblocksFinish: an external Cancel makes an in-flight Finish
+// return without waiting for the remaining task tree.
+func TestCancelUnblocksFinish(t *testing.T) {
+	base := runtime.NumGoroutine()
+	rt := NewRuntime(Config{Workers: 2})
+	defer rt.Shutdown()
+
+	var spawned atomic.Int64
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		rt.Cancel()
+	}()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rt.Finish(func(ctx *Ctx) {
+			// A self-replicating task tree that would run ~forever: only
+			// cancellation can end this Finish.
+			var loop func(*Ctx)
+			loop = func(c *Ctx) {
+				spawned.Add(1)
+				time.Sleep(100 * time.Microsecond)
+				c.Async(loop)
+			}
+			ctx.Async(loop)
+			ctx.Async(loop)
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Finish did not return after Cancel")
+	}
+	if err := rt.Err(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Err() = %v, want ErrCanceled", err)
+	}
+	if spawned.Load() == 0 {
+		t.Fatal("task tree never ran")
+	}
+	rt.Shutdown()
+	settle(t, base)
+}
+
+// TestIsolatedPanicReleasesLocks: a panic inside Isolated/IsolatedOn must
+// release the isolation locks, or every later isolated section wedges.
+func TestIsolatedPanicReleasesLocks(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 2})
+	defer rt.Shutdown()
+	rt.Finish(func(ctx *Ctx) {
+		ctx.Async(func(c *Ctx) {
+			c.Isolated(func() { panic("inside isolated") })
+		})
+	})
+	if rt.Err() == nil {
+		t.Fatal("contained panic not reported")
+	}
+
+	// Fresh runtime: the same pattern with IsolatedOn and object locks.
+	rt2 := NewRuntime(Config{Workers: 2})
+	defer rt2.Shutdown()
+	l := NewLock()
+	rt2.Finish(func(ctx *Ctx) {
+		ctx.Async(func(c *Ctx) {
+			c.IsolatedOn([]*Lock{l}, func() { panic("inside isolatedOn") })
+		})
+	})
+	if rt2.Err() == nil {
+		t.Fatal("contained IsolatedOn panic not reported")
+	}
+	// The lock must be free again (release ran despite the panic).
+	if !l.tryAcquire() {
+		t.Fatal("isolation lock still held after contained panic")
+	}
+	l.release()
+}

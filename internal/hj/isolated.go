@@ -12,9 +12,9 @@ import (
 func (c *Ctx) Isolated(fn func()) {
 	rt := c.worker.rt
 	rt.globalIso.Lock()
+	defer rt.globalIso.Unlock()
 	rt.stats.Isolated.Add(1)
 	fn()
-	rt.globalIso.Unlock()
 }
 
 // IsolatedOn executes fn in mutual exclusion with every other potentially
@@ -36,11 +36,15 @@ func (c *Ctx) IsolatedOn(locks []*Lock, fn func()) {
 	for _, l := range ordered {
 		spinAcquire(l)
 	}
+	// Release on panic too: a contained task panic must not leave the
+	// isolation locks held and wedge every other worker.
+	defer func() {
+		for i := len(ordered) - 1; i >= 0; i-- {
+			ordered[i].release()
+		}
+	}()
 	c.worker.rt.stats.Isolated.Add(1)
 	fn()
-	for i := len(ordered) - 1; i >= 0; i-- {
-		ordered[i].release()
-	}
 }
 
 // spinAcquire blocks until l is acquired, yielding progressively so a

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,10 +73,36 @@ type Runtime struct {
 	idleHint atomic.Int32 // mirror of idle for lock-free reads by pushers
 	stopped  bool
 
+	// Cancellation and panic containment: Cancel (or a contained task
+	// panic) closes cancelCh, sets canceledA, and wakes every worker.
+	// Outstanding Finish calls return immediately; the Runtime is dead
+	// afterwards and must be Shutdown/discarded.
+	cancelCh   chan struct{}
+	cancelOnce sync.Once
+	canceledA  atomic.Bool
+	failure    atomic.Pointer[TaskPanic] // first contained task panic
+
 	globalIso sync.Mutex // backs the object-free Isolated construct
 
 	stats Stats
 }
+
+// TaskPanic is a panic recovered inside a worker: instead of crashing the
+// process, the runtime records the first one, cancels the run, and
+// reports it through Runtime.Err.
+type TaskPanic struct {
+	Worker int    // worker that executed the panicking task
+	Value  any    // recovered panic value
+	Stack  []byte // stack of the panicking goroutine
+}
+
+func (p *TaskPanic) Error() string {
+	return fmt.Sprintf("hj: task panicked on worker %d: %v", p.Worker, p.Value)
+}
+
+// ErrCanceled is returned by Runtime.Err after an external Cancel with no
+// contained panic.
+var ErrCanceled = fmt.Errorf("hj: runtime canceled")
 
 // injectorQueue is a small mutex-guarded FIFO for externally submitted
 // tasks. It is off the hot path: the DES application submits one root task
@@ -127,7 +154,7 @@ func NewRuntime(cfg Config) *Runtime {
 	if seed == 0 {
 		seed = 0x5eed
 	}
-	rt := &Runtime{workers: make([]*worker, n)}
+	rt := &Runtime{workers: make([]*worker, n), cancelCh: make(chan struct{})}
 	rt.cond = sync.NewCond(&rt.mu)
 	rt.stats.stealTries = cfg.StealTries
 	if rt.stats.stealTries <= 0 {
@@ -166,7 +193,40 @@ func (rt *Runtime) Finish(body Task) {
 	rt.injector.push(t)
 	rt.stats.Spawns.Add(1)
 	rt.wakeOne()
-	<-fin.done
+	select {
+	case <-fin.done:
+	case <-rt.cancelCh:
+		// Canceled (externally or by a contained panic): abandon the
+		// scope; the caller must consult Err.
+	}
+}
+
+// Cancel stops the runtime mid-run: workers exit, outstanding Finish
+// calls return without waiting for their task trees, and Err reports
+// ErrCanceled (or the contained TaskPanic that triggered cancellation).
+// Like Shutdown, it is terminal. Safe to call from any goroutine,
+// repeatedly.
+func (rt *Runtime) Cancel() {
+	rt.cancelOnce.Do(func() {
+		rt.canceledA.Store(true)
+		rt.mu.Lock()
+		close(rt.cancelCh)
+		rt.cond.Broadcast()
+		rt.mu.Unlock()
+	})
+}
+
+// Err reports why the runtime died: the first contained task panic, or
+// ErrCanceled after an external Cancel. It returns nil while the runtime
+// is healthy (including after a clean Shutdown).
+func (rt *Runtime) Err() error {
+	if p := rt.failure.Load(); p != nil {
+		return p
+	}
+	if rt.canceledA.Load() {
+		return ErrCanceled
+	}
+	return nil
 }
 
 // Shutdown stops all workers. Outstanding tasks are abandoned; callers
@@ -208,9 +268,14 @@ func (rt *Runtime) anyWorkVisible() bool {
 }
 
 // run is the top-level worker loop: execute local work, steal, park.
+// Cancellation (external or after a contained panic) is checked at the
+// steal/park points: before taking new work and before/after waiting.
 func (w *worker) run() {
 	rt := w.rt
 	for {
+		if rt.canceledA.Load() {
+			return
+		}
 		t := w.findWork()
 		if t != nil {
 			w.execute(t)
@@ -219,7 +284,7 @@ func (w *worker) run() {
 		// Park. Re-check for work under the lock so a concurrent Async
 		// cannot slip between our last scan and the wait.
 		rt.mu.Lock()
-		if rt.stopped {
+		if rt.stopped || rt.canceledA.Load() {
 			rt.mu.Unlock()
 			return
 		}
@@ -230,14 +295,14 @@ func (w *worker) run() {
 		rt.idle++
 		rt.idleHint.Store(int32(rt.idle))
 		rt.stats.Parks.Add(1)
-		for !rt.stopped && !rt.anyWorkVisible() {
+		for !rt.stopped && !rt.canceledA.Load() && !rt.anyWorkVisible() {
 			rt.cond.Wait()
 		}
 		rt.idle--
 		rt.idleHint.Store(int32(rt.idle))
-		stopped := rt.stopped
+		dead := rt.stopped || rt.canceledA.Load()
 		rt.mu.Unlock()
-		if stopped {
+		if dead {
 			return
 		}
 	}
@@ -281,10 +346,10 @@ func (w *worker) execute(t *task) {
 	prevFin, prevBase := w.ctx.fin, w.ctx.heldBase
 	w.ctx.fin = t.fin
 	w.ctx.heldBase = len(w.ctx.held)
-	t.fn(&w.ctx)
+	w.runContained(t)
 	// The paper's lock API scopes lock ownership to the async task; a
-	// task that returns while holding locks would poison the whole
-	// simulation, so leaked locks are released here and counted.
+	// task that returns (or panics) while holding locks would poison the
+	// whole simulation, so leaked locks are released here and counted.
 	if leaked := len(w.ctx.held) - w.ctx.heldBase; leaked > 0 {
 		w.rt.stats.LeakedLocks.Add(int64(leaked))
 		w.ctx.ReleaseAllLocks()
@@ -294,11 +359,28 @@ func (w *worker) execute(t *task) {
 	t.fin.complete()
 }
 
+// runContained executes the task body, converting a panic into a recorded
+// TaskPanic plus runtime cancellation instead of crashing the process.
+func (w *worker) runContained(t *task) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.rt.failure.CompareAndSwap(nil, &TaskPanic{
+				Worker: w.id, Value: r, Stack: debug.Stack(),
+			})
+			w.rt.Cancel()
+		}
+	}()
+	t.fn(&w.ctx)
+}
+
 // helpUntil runs tasks (or yields) until the scope completes. It is the
 // help-first join used when a worker blocks at the end of a nested Finish.
 func (w *worker) helpUntil(fin *finishScope) {
 	spins := 0
 	for !fin.finished() {
+		if w.rt.canceledA.Load() {
+			return
+		}
 		if t := w.findWork(); t != nil {
 			w.execute(t)
 			spins = 0

@@ -46,11 +46,37 @@
 // and an LP exits once every owned node has terminated. Bounded inboxes
 // provide backpressure; a sender whose destination inbox is full drains
 // its own inbox while waiting, so message cycles cannot deadlock either.
+//
+// # Supervision
+//
+// A Run may carry a context (Config.Ctx): when it is canceled every LP
+// unwinds at its next blocking point or loop iteration, no goroutine is
+// leaked, and Run returns the context's cause. A Probe (Config.Probe)
+// exposes a monotonic progress counter and a per-LP diagnostic snapshot
+// (state, minimum local clock, inbox depth, live nodes) for external
+// stall watchdogs. A panic inside an LP is contained: the LP floods
+// NULL(∞) so its peers terminate, and Run returns a *PanicError naming
+// the LP with the recovered value and stack.
+//
+// # Fault injection
+//
+// Config.NewInterceptor installs a per-LP Interceptor at the inbox
+// boundary: every cross-partition message passes through it on the
+// sender's goroutine, and the interceptor decides what is actually
+// delivered (possibly held, reordered across ports, or — for null
+// messages only — duplicated). Interceptors power the deterministic
+// chaos engine in internal/chaos; see the Interceptor contract for the
+// invariants an implementation must preserve.
 package lp
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"hjdes/internal/circuit"
 	"hjdes/internal/partition"
@@ -80,11 +106,43 @@ type Config struct {
 	Paranoid bool
 	// InboxCap bounds each LP's inbox; 0 means DefaultInboxCap.
 	InboxCap int
+	// Ctx, when non-nil, bounds the run: on cancellation every LP unwinds
+	// promptly (at a blocking send/receive or the loop top) and Run
+	// returns context.Cause(Ctx). A nil Ctx means no external bound.
+	Ctx context.Context
+	// NewInterceptor, when non-nil, is called once per LP before the run
+	// starts; the returned Interceptor (nil to leave that LP untouched)
+	// sees every message the LP sends across a cut.
+	NewInterceptor func(lp int) Interceptor
+	// Probe, when non-nil, is attached to the run so external watchdogs
+	// can sample progress and snapshot per-LP state while Run executes.
+	Probe *Probe
 }
 
 // DefaultInboxCap is the default per-LP inbox bound: small enough for
 // backpressure, large enough that senders rarely stall.
 const DefaultInboxCap = 1024
+
+// ErrCanceled reports an LP that unwound because Config.Ctx was canceled.
+// Run folds it into the context's cause; it only escapes through
+// PanicError-free canceled runs.
+var ErrCanceled = errors.New("lp: run canceled")
+
+// PanicError is the structured failure of one logical process: which LP
+// panicked, the recovered value, and the stack of the panicking
+// goroutine. The peers are unblocked (NULL(∞) flood) and exit cleanly.
+type PanicError struct {
+	LP    int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("lp %d: panic: %v", e.LP, e.Value) }
+
+// lpCanceled is the unwind sentinel panicked by an LP that observes
+// cancellation deep inside a blocking send; main's recover turns it into
+// ErrCanceled.
+type lpCanceled struct{}
 
 // Stats are the run's message-level counters. The null-message ratio is
 // the canonical overhead metric of CMB simulators.
@@ -93,6 +151,7 @@ type Stats struct {
 	CutEdges   int   // cross-partition circuit edges
 	EventMsgs  int64 // cross-partition signal-event messages
 	NullMsgs   int64 // finite-timestamp null (clock-advance) messages
+	Restarts   int64 // kill-and-restart cycles performed by interceptors
 	EdgeCut    float64
 	Imbalance  float64
 }
@@ -120,21 +179,62 @@ type Result struct {
 	Stats       Stats
 }
 
+// MsgKind discriminates inter-LP messages.
+type MsgKind uint8
+
 // Message kinds.
 const (
-	msgEvent    uint8 = iota // a signal event for (node, port)
-	msgNullEdge              // NULL(∞) for (node, port): the source node drained
-	msgNullChan              // channel promise: no event below time will arrive from LP src
+	MsgEvent    MsgKind = iota // a signal event for (Node, Port)
+	MsgNullEdge                // NULL(∞) for (Node, Port): the source node drained
+	MsgNullChan                // channel promise: no event below Time will arrive from LP Src
 )
 
-// msg is one inter-LP message.
-type msg struct {
-	kind uint8
-	src  int32 // sending LP (msgNullChan)
-	node int32 // destination node (msgEvent, msgNullEdge)
-	port int32
-	time int64 // event timestamp, or the promised bound (msgNullChan)
-	val  circuit.Value
+// Msg is one inter-LP message. Exported so Interceptors can inspect and
+// forward messages; the zero value is not meaningful.
+type Msg struct {
+	Kind MsgKind
+	Src  int32 // sending LP (MsgNullChan)
+	Node int32 // destination node (MsgEvent, MsgNullEdge)
+	Port int32
+	Time int64 // event timestamp, or the promised bound (MsgNullChan)
+	Val  circuit.Value
+}
+
+// Delivery is one message an Interceptor wants transported now.
+type Delivery struct {
+	To int32 // destination LP
+	M  Msg
+}
+
+// Interceptor sits at one LP's outgoing inbox boundary. All methods run
+// on that LP's goroutine, so an implementation needs no locking for its
+// own state. Returned deliveries are transported in order through the
+// raw channel layer without re-interception.
+//
+// Implementations MUST preserve the protocol's safety invariants:
+//
+//   - Per-(node, port) FIFO: two MsgEvents for the same destination node
+//     and port must be delivered in their original order (the receiving
+//     deque assumes nondecreasing arrival timestamps per port).
+//   - No event duplication: delivering a MsgEvent twice corrupts the
+//     simulation. Null messages (both kinds) are idempotent — a clock
+//     only ratchets forward — and may be duplicated freely.
+//   - Flush before promising: any held MsgEvent for a destination must be
+//     delivered before a MsgNullEdge or MsgNullChan to that destination
+//     (a promise made while an older event is still held is a lie and
+//     trips the Paranoid causality check), and OnBlock must release
+//     everything held, or withheld messages deadlock the protocol.
+type Interceptor interface {
+	// OnSend intercepts one outgoing message and returns what to actually
+	// deliver now (possibly nothing, possibly previously held messages).
+	OnSend(src, to int32, m Msg) []Delivery
+	// OnBlock is called when the LP is about to block for input (and once
+	// at LP exit); it must release every held message.
+	OnBlock(src int32) []Delivery
+	// CrashPoint is polled at the top of the LP's main loop; returning
+	// true kills the LP at that point and restarts it from a checkpoint
+	// (see checkpoint.go).
+	CrashPoint(src int32) bool
 }
 
 // dest is one fanout endpoint, pre-resolved against the plan.
@@ -209,13 +309,22 @@ type inEdge struct {
 	port int32
 }
 
+// LP diagnostic states published for Probe.Snapshot.
+const (
+	stateRunning int32 = iota
+	stateBlockedRecv
+	stateBlockedSend
+	stateDone
+)
+
 // proc is one logical process.
 type proc struct {
 	id    int32
 	r     *run
 	nodes []int32 // owned node IDs
 	topo  []int32 // owned node IDs in intra-partition topological order
-	inbox chan msg
+	inbox chan Msg
+	ic    Interceptor // nil when no fault injection
 
 	// Outbound channel i goes to LP outbound[i]; outSrcs[i] lists the
 	// distinct local source nodes of its cut edges, and lastNull[i] the
@@ -233,18 +342,77 @@ type proc struct {
 
 	eventMsgs int64
 	nullMsgs  int64
+	restarts  int64
 	err       error
+
+	// Diagnostics, written by this LP and read by Probe goroutines.
+	progress   atomic.Uint64 // messages applied + node activations
+	state      atomic.Int32  // stateRunning / stateBlockedRecv / ...
+	blockedOn  atomic.Int32  // destination LP when stateBlockedSend
+	minClock   atomic.Int64  // min local clock over live owned nodes, at last block
+	remainingA atomic.Int32
 }
 
 // run is the shared context of one simulation: immutable wiring plus the
 // per-node state array, each element of which is owned by exactly one LP.
 type run struct {
 	cfg   Config
+	done  <-chan struct{} // nil when cfg.Ctx is nil; a nil channel never fires
 	nodes []node
 	owner []int32 // node ID → LP
 	procs []*proc
 	inWS  []bool  // workset membership, touched only by the owner LP
 	lbOut []int64 // per-node output bound, touched only by the owner LP
+}
+
+// Probe lets an external watchdog observe a Run in flight. Attach it via
+// Config.Probe; it is safe to call from any goroutine, before, during and
+// after the run (zero progress / empty snapshot when unattached).
+type Probe struct {
+	r atomic.Pointer[run]
+}
+
+// Progress returns a monotonically nondecreasing activity counter summed
+// over all LPs: messages applied plus node activations.
+func (pr *Probe) Progress() uint64 {
+	r := pr.r.Load()
+	if r == nil {
+		return 0
+	}
+	var sum uint64
+	for _, p := range r.procs {
+		sum += p.progress.Load()
+	}
+	return sum
+}
+
+// Snapshot renders one line per LP: state (running / blocked-recv /
+// blocked-send→peer / done), the minimum local clock over its live nodes
+// as of its last block, inbox depth, live node count and progress.
+func (pr *Probe) Snapshot() string {
+	r := pr.r.Load()
+	if r == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, p := range r.procs {
+		state := "running"
+		switch p.state.Load() {
+		case stateBlockedRecv:
+			state = "blocked-recv"
+		case stateBlockedSend:
+			state = fmt.Sprintf("blocked-send->lp%d", p.blockedOn.Load())
+		case stateDone:
+			state = "done"
+		}
+		clock := "inf"
+		if c := p.minClock.Load(); c < TimeInfinity {
+			clock = fmt.Sprintf("%d", c)
+		}
+		fmt.Fprintf(&b, "lp %d: state=%s clock=%s inbox=%d/%d live-nodes=%d progress=%d\n",
+			p.id, state, clock, len(p.inbox), cap(p.inbox), p.remainingA.Load(), p.progress.Load())
+	}
+	return b.String()
 }
 
 // Run simulates the circuit under the stimulus with one logical process
@@ -264,6 +432,9 @@ func Run(c *circuit.Circuit, stim *circuit.Stimulus, plan *partition.Plan, cfg C
 		inWS:  make([]bool, len(c.Nodes)),
 		lbOut: make([]int64, len(c.Nodes)),
 	}
+	if cfg.Ctx != nil {
+		r.done = cfg.Ctx.Done()
+	}
 	for i := range c.Nodes {
 		if a := plan.Assign[i]; a < 0 || a >= plan.K {
 			return nil, fmt.Errorf("lp: plan assigns node %d to partition %d of %d", i, a, plan.K)
@@ -279,8 +450,11 @@ func Run(c *circuit.Circuit, stim *circuit.Stimulus, plan *partition.Plan, cfg C
 		r.procs[i] = &proc{
 			id:      int32(i),
 			r:       r,
-			inbox:   make(chan msg, inboxCap),
+			inbox:   make(chan Msg, inboxCap),
 			inEdges: make(map[int32][]inEdge),
+		}
+		if cfg.NewInterceptor != nil {
+			r.procs[i].ic = cfg.NewInterceptor(i)
 		}
 	}
 
@@ -338,6 +512,13 @@ func Run(c *circuit.Circuit, stim *circuit.Stimulus, plan *partition.Plan, cfg C
 		from.outSrcs = append(from.outSrcs, srcs)
 	}
 
+	if cfg.Probe != nil {
+		cfg.Probe.r.Store(r)
+	}
+	for _, p := range r.procs {
+		p.remainingA.Store(int32(p.remaining))
+	}
+
 	var wg sync.WaitGroup
 	for _, p := range r.procs {
 		wg.Add(1)
@@ -357,12 +538,20 @@ func Run(c *circuit.Circuit, stim *circuit.Stimulus, plan *partition.Plan, cfg C
 			Imbalance:  plan.LoadBalance(),
 		},
 	}
+	var firstErr error
 	for _, p := range r.procs {
-		if p.err != nil {
-			return nil, p.err
+		if p.err != nil && firstErr == nil && !errors.Is(p.err, ErrCanceled) {
+			firstErr = p.err
 		}
 		res.Stats.EventMsgs += p.eventMsgs
 		res.Stats.NullMsgs += p.nullMsgs
+		res.Stats.Restarts += p.restarts
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+		return nil, context.Cause(cfg.Ctx)
 	}
 	for i := range r.nodes {
 		n := &r.nodes[i]
@@ -385,20 +574,34 @@ func Run(c *circuit.Circuit, stim *circuit.Stimulus, plan *partition.Plan, cfg C
 func (p *proc) main() {
 	defer func() {
 		if rec := recover(); rec != nil {
-			p.err = fmt.Errorf("lp %d: %v", p.id, rec)
+			if _, ok := rec.(lpCanceled); ok {
+				p.err = ErrCanceled
+				p.state.Store(stateDone)
+				return
+			}
+			p.err = &PanicError{LP: int(p.id), Value: rec, Stack: debug.Stack()}
+			p.state.Store(stateDone)
 			p.abort()
 		}
 	}()
 	p.floodInputs()
 	for {
+		p.checkCanceled()
+		if p.ic != nil && p.ic.CrashPoint(p.id) {
+			p.restart()
+		}
 		p.drainInbox()
 		p.processLocal()
 		if p.remaining == 0 {
+			p.flushHeld()
+			p.state.Store(stateDone)
 			return
 		}
 		// No ready work and not done: some cross-fed port is still open
 		// (intra-partition dependencies always resolve within the DAG).
-		// Promise our output bounds downstream, then block for input.
+		// Release anything an interceptor held back, promise our output
+		// bounds downstream, then block for input.
+		p.flushHeld()
 		p.sendNulls()
 		// A send that stalled on a full peer inbox drains our own inbox
 		// meanwhile, which can ready local work; block only if the
@@ -407,8 +610,50 @@ func (p *proc) main() {
 		if !p.ws.Empty() {
 			continue
 		}
-		p.apply(<-p.inbox)
+		p.blockRecv()
 	}
+}
+
+// checkCanceled unwinds the LP (via the lpCanceled sentinel) if the run's
+// context has been canceled. A nil done channel never fires.
+func (p *proc) checkCanceled() {
+	select {
+	case <-p.r.done:
+		panic(lpCanceled{})
+	default:
+	}
+}
+
+// blockRecv waits for one inbox message, publishing blocked-recv state for
+// diagnostics and honoring cancellation.
+func (p *proc) blockRecv() {
+	p.noteBlocked(stateBlockedRecv, -1)
+	defer p.state.Store(stateRunning)
+	select {
+	case m := <-p.inbox:
+		p.apply(m)
+	case <-p.r.done:
+		panic(lpCanceled{})
+	}
+}
+
+// noteBlocked publishes this LP's diagnostic snapshot: why it is blocked
+// and the minimum local clock over its live nodes.
+func (p *proc) noteBlocked(state, dst int32) {
+	clock := TimeInfinity
+	for _, id := range p.nodes {
+		n := &p.r.nodes[id]
+		if n.nullSent {
+			continue
+		}
+		if c := n.localClock(); c < clock {
+			clock = c
+		}
+	}
+	p.minClock.Store(clock)
+	p.blockedOn.Store(dst)
+	p.remainingA.Store(int32(p.remaining))
+	p.state.Store(state)
 }
 
 // abort unblocks peers after a local panic by flooding NULL(∞) on every
@@ -420,7 +665,7 @@ func (p *proc) abort() {
 			if !d.cross {
 				continue
 			}
-			m := msg{kind: msgNullEdge, node: d.node, port: d.port}
+			m := Msg{Kind: MsgNullEdge, Node: d.node, Port: d.port}
 			box := p.r.procs[d.lp].inbox
 			for attempt := 0; attempt < 1024; attempt++ {
 				select {
@@ -458,7 +703,7 @@ func (p *proc) floodInputs() {
 func (p *proc) deliver(d dest, ev event) {
 	if d.cross {
 		p.eventMsgs++
-		p.send(d.lp, msg{kind: msgEvent, node: d.node, port: d.port, time: ev.time, val: ev.val})
+		p.send(d.lp, Msg{Kind: MsgEvent, Node: d.node, Port: d.port, Time: ev.time, Val: ev.val})
 		return
 	}
 	p.receive(d.node, d.port, ev)
@@ -486,36 +731,71 @@ func (p *proc) wake(nodeID int32) {
 	}
 }
 
-// send places m into LP to's inbox. If the inbox is full the sender
+// send routes one outgoing cross-partition message through the LP's
+// interceptor (when installed) and transports whatever it releases.
+func (p *proc) send(to int32, m Msg) {
+	if p.ic == nil {
+		p.rawSend(to, m)
+		return
+	}
+	for _, d := range p.ic.OnSend(p.id, to, m) {
+		p.rawSend(d.To, d.M)
+	}
+}
+
+// flushHeld releases everything the interceptor is still holding; called
+// before the LP blocks and once at LP exit so held messages cannot wedge
+// the protocol.
+func (p *proc) flushHeld() {
+	if p.ic == nil {
+		return
+	}
+	for _, d := range p.ic.OnBlock(p.id) {
+		p.rawSend(d.To, d.M)
+	}
+}
+
+// rawSend places m into LP to's inbox. If the inbox is full the sender
 // drains its own inbox while waiting, so cyclic backpressure cannot
-// deadlock: some LP can always make progress.
-func (p *proc) send(to int32, m msg) {
+// deadlock: some LP can always make progress. Cancellation unwinds the
+// LP from here via the lpCanceled sentinel.
+func (p *proc) rawSend(to int32, m Msg) {
 	box := p.r.procs[to].inbox
+	select {
+	case box <- m:
+		return
+	default:
+	}
+	p.noteBlocked(stateBlockedSend, to)
+	defer p.state.Store(stateRunning)
 	for {
 		select {
 		case box <- m:
 			return
 		case in := <-p.inbox:
 			p.apply(in)
+		case <-p.r.done:
+			panic(lpCanceled{})
 		}
 	}
 }
 
 // apply folds one received message into local node state and wakes the
 // affected nodes; it never processes events (the main loop does).
-func (p *proc) apply(m msg) {
-	switch m.kind {
-	case msgEvent:
-		p.receive(m.node, m.port, event{time: m.time, val: m.val})
-		p.wake(m.node)
-	case msgNullEdge:
-		p.r.nodes[m.node].ports[m.port].clock = TimeInfinity
-		p.wake(m.node)
-	case msgNullChan:
-		for _, e := range p.inEdges[m.src] {
+func (p *proc) apply(m Msg) {
+	p.progress.Add(1)
+	switch m.Kind {
+	case MsgEvent:
+		p.receive(m.Node, m.Port, event{time: m.Time, val: m.Val})
+		p.wake(m.Node)
+	case MsgNullEdge:
+		p.r.nodes[m.Node].ports[m.Port].clock = TimeInfinity
+		p.wake(m.Node)
+	case MsgNullChan:
+		for _, e := range p.inEdges[m.Src] {
 			pt := &p.r.nodes[e.node].ports[e.port]
-			if m.time > pt.clock {
-				pt.clock = m.time
+			if m.Time > pt.clock {
+				pt.clock = m.Time
 				p.wake(e.node)
 			}
 		}
@@ -545,6 +825,7 @@ func (p *proc) processLocal() {
 			return
 		}
 		p.r.inWS[id] = false
+		p.progress.Add(1)
 		n := &p.r.nodes[id]
 		if n.nullSent {
 			continue
@@ -607,7 +888,7 @@ func (p *proc) process(n *node, portID int32, ev event) {
 func (p *proc) sendNull(n *node) {
 	for _, d := range n.fanout {
 		if d.cross {
-			p.send(d.lp, msg{kind: msgNullEdge, node: d.node, port: d.port})
+			p.send(d.lp, Msg{Kind: MsgNullEdge, Node: d.node, Port: d.port})
 			continue
 		}
 		p.r.nodes[d.node].ports[d.port].clock = TimeInfinity
@@ -615,6 +896,7 @@ func (p *proc) sendNull(n *node) {
 	}
 	n.nullSent = true
 	p.remaining--
+	p.remainingA.Store(int32(p.remaining))
 }
 
 // relax recomputes the per-node output bounds lbOut over the owned
@@ -668,7 +950,7 @@ func (p *proc) sendNulls() {
 		if promise != TimeInfinity && promise > p.lastNull[i] {
 			p.lastNull[i] = promise
 			p.nullMsgs++
-			p.send(to, msg{kind: msgNullChan, src: p.id, time: promise})
+			p.send(to, Msg{Kind: MsgNullChan, Src: p.id, Time: promise})
 		}
 	}
 }
