@@ -134,6 +134,7 @@ func main() {
 // failures (panic, timeout, stall) print their diagnostic snapshot and
 // exit with status 2, so scripts can tell a wedged engine from bad usage.
 func dieSupervised(err error) {
+	removeStaleVCD()
 	var ee *core.EngineError
 	if errors.As(err, &ee) {
 		fmt.Fprintf(os.Stderr, "dessim: %v\n", ee)
@@ -156,6 +157,18 @@ func printHotspots(c *circuit.Circuit, res *core.Result) {
 	fmt.Printf("top %d nodes by processed events:\n", *hotFlag)
 	for _, h := range core.TopHotspots(c, res, *hotFlag) {
 		fmt.Printf("  %v\n", h)
+	}
+}
+
+// removeStaleVCD deletes the -vcd target on a failed run: writeVCD only
+// runs on success, so without this a waveform file left by a previous
+// invocation would silently survive and masquerade as this run's output.
+func removeStaleVCD() {
+	if *vcdFlag == "" {
+		return
+	}
+	if err := os.Remove(*vcdFlag); err != nil && !errors.Is(err, os.ErrNotExist) {
+		fmt.Fprintf(os.Stderr, "dessim: removing stale %s: %v\n", *vcdFlag, err)
 	}
 }
 

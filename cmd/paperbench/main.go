@@ -21,13 +21,15 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment: table1 | table2 | fig1 | fig4 | fig5 | fig6 | fig7 | ablations | profiles | ordered | timewarp | lp | netdes | all")
+	expFlag     = flag.String("exp", "all", "experiment: table1 | table2 | fig1 | fig4 | fig5 | fig6 | fig7 | ablations | profiles | ordered | timewarp | lp | bench | netdes | all")
 	scaleFlag   = flag.Float64("scale", 0.1, "fraction of the paper's event volume per run (1 = paper scale)")
 	repeatsFlag = flag.Int("repeats", 3, "repetitions per configuration (paper: 20)")
 	workersFlag = flag.Int("maxworkers", 8, "maximum worker count in sweeps (paper: 32)")
 	seedFlag    = flag.Int64("seed", 1, "stimulus seed")
 	timeoutFlag = flag.Duration("timeout", 0, "fail any individual engine run after this long (0 = unbounded)")
 	csvFlag     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	circuitFlag = flag.String("circuit", "", "restrict experiments to one paper circuit by name (e.g. koggestone-64)")
+	jsonFlag    = flag.String("json", "", "with -exp bench: write machine-readable records to this file ('-' for stdout)")
 )
 
 func fatalf(format string, args ...any) {
@@ -56,6 +58,16 @@ func main() {
 		MaxWorkers: *workersFlag,
 		Seed:       *seedFlag,
 		Timeout:    *timeoutFlag,
+	}
+	if *circuitFlag != "" {
+		for _, pc := range harness.PaperCircuits {
+			if pc.Name == *circuitFlag {
+				cfg.Circuits = []harness.PaperCircuit{pc}
+			}
+		}
+		if len(cfg.Circuits) == 0 {
+			fatalf("unknown circuit %q (want one of the paper circuits)", *circuitFlag)
+		}
 	}
 	switch *expFlag {
 	case "table1":
@@ -131,6 +143,27 @@ func main() {
 			fatalf("%v", err)
 		}
 		emit(t)
+	case "bench":
+		records, err := harness.BenchSweep(cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if *jsonFlag != "" {
+			out := os.Stdout
+			if *jsonFlag != "-" {
+				f, err := os.Create(*jsonFlag)
+				if err != nil {
+					fatalf("%v", err)
+				}
+				defer f.Close()
+				out = f
+			}
+			if err := harness.WriteBenchJSON(out, records); err != nil {
+				fatalf("%v", err)
+			}
+			return
+		}
+		emit(harness.BenchTable(records))
 	case "all":
 		if err := harness.All(cfg, os.Stdout); err != nil {
 			fatalf("%v", err)

@@ -121,6 +121,7 @@ func (e *galoisEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result,
 	if bad := s.checkAllNullSent(); bad >= 0 {
 		return nil, fmt.Errorf("core: galois simulation ended with node %d not terminated", bad)
 	}
+	s.release()
 	return &Result{
 		Engine:      e.Name(),
 		Workers:     rt.NumWorkers(),

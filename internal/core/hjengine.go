@@ -171,6 +171,9 @@ func (e *hjEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.St
 	if bad := s.checkAllNullSent(); bad >= 0 {
 		return nil, fmt.Errorf("core: hj simulation ended with node %d not terminated", bad)
 	}
+	// Clean completion: every task has run to completion inside Finish,
+	// so nothing can touch the event rings anymore.
+	s.release()
 	return &Result{
 		Engine:      e.name,
 		Workers:     rt.NumWorkers(),

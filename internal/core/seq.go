@@ -79,6 +79,7 @@ func (e *seqEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, er
 	if bad := s.checkAllNullSent(); bad >= 0 {
 		return nil, fmt.Errorf("core: simulation ended with node %d not terminated", bad)
 	}
+	s.release()
 	return &Result{
 		Engine:      e.name,
 		Workers:     1,

@@ -86,6 +86,15 @@ func newSimState(c *circuit.Circuit, stim *circuit.Stimulus, opts Options) (*sim
 		return nil, err
 	}
 	s := &simState{c: c, mode: opts.storage(), opts: opts, nodes: make([]nodeState, len(c.Nodes))}
+	// Slab-allocate the per-node port and fanout arrays: two allocations
+	// for the whole circuit instead of two per node.
+	totalIn, totalOut := 0, 0
+	for i := range c.Nodes {
+		totalIn += c.Nodes[i].NumIn()
+		totalOut += len(c.Nodes[i].Fanout)
+	}
+	portSlab := make([]portState, totalIn)
+	destSlab := make([]dest, totalOut)
 	for i := range c.Nodes {
 		cn := &c.Nodes[i]
 		ns := &s.nodes[i]
@@ -93,14 +102,15 @@ func newSimState(c *circuit.Circuit, stim *circuit.Stimulus, opts Options) (*sim
 		ns.kind = cn.Kind
 		ns.delay = cn.Kind.Delay()
 		ns.numIn = cn.NumIn()
-		ns.fanout = make([]dest, len(cn.Fanout))
+		ns.fanout, destSlab = destSlab[:len(cn.Fanout):len(cn.Fanout)], destSlab[len(cn.Fanout):]
 		for j, p := range cn.Fanout {
 			ns.fanout[j] = dest{node: int32(p.Node), port: int32(p.In)}
 		}
 		ns.paranoid = opts.Paranoid
-		ns.ports = make([]portState, ns.numIn)
+		ns.ports, portSlab = portSlab[:ns.numIn:ns.numIn], portSlab[ns.numIn:]
 		for p := range ns.ports {
 			ns.ports[p].clock = clockUnset
+			ns.ports[p].q.SetArena(&eventArena)
 		}
 		if s.mode == storePerNodeHeap && ns.numIn > 0 {
 			ns.heap = queue.NewHeap(lessPortEvent)
@@ -277,6 +287,24 @@ func (ns *nodeState) inputOutgoing() []Event {
 		evs[i] = Event{Time: tr.Time + circuit.WireDelay, Value: tr.Value}
 	}
 	return evs
+}
+
+// eventArena recycles the per-port event deque rings across runs
+// (process-wide, sync.Pool-backed), so repeated simulations reach a
+// steady state with no per-event heap allocation.
+var eventArena queue.Arena[Event]
+
+// release returns every pooled event ring to the package arena for later
+// runs. Call only on paths where the run has fully joined — after a
+// clean engine completion, never after a contained worker panic — since
+// no task may touch node state once its rings are recycled.
+func (s *simState) release() {
+	for i := range s.nodes {
+		ns := &s.nodes[i]
+		for p := range ns.ports {
+			ns.ports[p].q.Release()
+		}
+	}
 }
 
 // totalEvents sums the per-node processed-event counters.

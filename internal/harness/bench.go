@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hjdes/internal/core"
+)
+
+// BenchRecord is one machine-readable benchmark measurement, the unit of
+// the repository's performance trajectory (`paperbench -json`, appended
+// to BENCH_*.json per PR). Timing fields follow the paper's reporting
+// conventions (min for headline, mean ± CI95 for error bars); allocation
+// fields are the benchmark notion of allocs/op; the message-layer fields
+// are populated for the lp engine only, where the null-message ratio is
+// the canonical CMB overhead metric.
+type BenchRecord struct {
+	Engine      string  `json:"engine"`
+	Circuit     string  `json:"circuit"`
+	Workers     int     `json:"workers"`
+	Events      int64   `json:"events"`
+	MinS        float64 `json:"min_s"`
+	MeanS       float64 `json:"mean_s"`
+	CI95S       float64 `json:"ci95_s"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+	BytesPerOp  uint64  `json:"bytes_per_op"`
+	EventMsgs   int64   `json:"event_msgs,omitempty"`
+	NullMsgs    int64   `json:"null_msgs,omitempty"`
+	NMR         float64 `json:"nmr,omitempty"`
+}
+
+// record converts a Measurement into its trajectory record.
+func record(circuit string, m *Measurement) BenchRecord {
+	r := BenchRecord{
+		Engine:      m.Engine,
+		Circuit:     circuit,
+		Workers:     m.Workers,
+		Events:      m.Events,
+		MinS:        m.MinSeconds(),
+		MeanS:       m.MeanSeconds(),
+		CI95S:       m.CI95(),
+		AllocsPerOp: m.AllocsPerOp,
+		BytesPerOp:  m.BytesPerOp,
+	}
+	if m.Best != nil && m.Best.LP.Partitions > 0 {
+		r.EventMsgs = m.Best.LP.EventMsgs
+		r.NullMsgs = m.Best.LP.NullMsgs
+		r.NMR = m.Best.LP.NullRatio()
+	}
+	return r
+}
+
+// BenchSweep runs the bench-trajectory suite: per circuit, the seq
+// baseline once, then the hj and lp engines across the configured worker
+// counts (the lp engine with one partition per worker). It returns one
+// record per configuration, in a deterministic order.
+func BenchSweep(cfg Config) ([]BenchRecord, error) {
+	var records []BenchRecord
+	for _, pc := range cfg.circuits() {
+		c := pc.Build()
+		stim := cfg.stimulus(c, pc)
+		mSeq, err := Measure(Spec{Label: pc.Name + "/seq", Circuit: c, Stim: stim,
+			Factory: seqFactory, Workers: 1, Repeats: cfg.repeats(), Timeout: cfg.Timeout})
+		if err != nil {
+			return nil, err
+		}
+		records = append(records, record(pc.Name, mSeq))
+		for _, w := range cfg.workerCounts() {
+			mHJ, err := Measure(Spec{Label: fmt.Sprintf("%s/hj/w%d", pc.Name, w), Circuit: c, Stim: stim,
+				Factory: hjFactory, Workers: w, Repeats: cfg.repeats(), Timeout: cfg.Timeout})
+			if err != nil {
+				return nil, err
+			}
+			records = append(records, record(pc.Name, mHJ))
+			mLP, err := Measure(Spec{Label: fmt.Sprintf("%s/lp/w%d", pc.Name, w), Circuit: c, Stim: stim,
+				Factory: factory("lp", core.Options{Partitions: w}), Workers: w,
+				Repeats: cfg.repeats(), Timeout: cfg.Timeout})
+			if err != nil {
+				return nil, err
+			}
+			records = append(records, record(pc.Name, mLP))
+		}
+	}
+	return records, nil
+}
+
+// WriteBenchJSON renders the records as an indented JSON array.
+func WriteBenchJSON(w io.Writer, records []BenchRecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}
+
+// BenchTable renders the records as a human-readable table (the -exp
+// bench view when no -json path is given).
+func BenchTable(records []BenchRecord) *Table {
+	t := &Table{
+		Title: "Bench trajectory: engines × workers (min/mean/ci95 seconds, allocs per run, lp null-message ratio)",
+		Headers: []string{"circuit", "engine", "workers", "events", "min_s", "mean_s", "ci95_s",
+			"allocs/op", "KB/op", "event_msgs", "null_msgs", "nmr"},
+	}
+	for _, r := range records {
+		t.AddRow(r.Circuit, r.Engine, fmt.Sprint(r.Workers), fmt.Sprint(r.Events),
+			FmtSeconds(r.MinS), FmtSeconds(r.MeanS), FmtSeconds(r.CI95S),
+			fmt.Sprint(r.AllocsPerOp), fmt.Sprintf("%.0f", float64(r.BytesPerOp)/1024),
+			fmt.Sprint(r.EventMsgs), fmt.Sprint(r.NullMsgs), fmt.Sprintf("%.3f", r.NMR))
+	}
+	return t
+}

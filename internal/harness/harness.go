@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"time"
 
@@ -42,6 +43,15 @@ type Measurement struct {
 	Workers int
 	Events  int64
 	Times   *stats.Sample // seconds per run
+	// AllocsPerOp and BytesPerOp are the process-wide heap allocation
+	// count and volume per run, averaged over the repeats (the benchmark
+	// notion of allocs/op, measured with runtime.MemStats deltas).
+	AllocsPerOp uint64
+	BytesPerOp  uint64
+	// Best is the full result of the fastest run, for engine-specific
+	// statistics (null-message ratio, scheduler counters) next to the
+	// timing summary.
+	Best *core.Result
 }
 
 // Measure runs the spec Repeats times and collects timing statistics.
@@ -61,6 +71,8 @@ func Measure(spec Spec) (*Measurement, error) {
 		Workers: spec.Workers,
 		Times:   stats.New(),
 	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	for i := 0; i < repeats; i++ {
 		res, err := core.Supervise(context.Background(), eng, spec.Circuit, spec.Stim,
 			core.SuperviseConfig{Timeout: spec.Timeout})
@@ -69,7 +81,13 @@ func Measure(spec Spec) (*Measurement, error) {
 		}
 		m.Events = res.TotalEvents
 		m.Times.Add(res.Elapsed.Seconds())
+		if m.Best == nil || res.Elapsed < m.Best.Elapsed {
+			m.Best = res
+		}
 	}
+	runtime.ReadMemStats(&after)
+	m.AllocsPerOp = (after.Mallocs - before.Mallocs) / uint64(repeats)
+	m.BytesPerOp = (after.TotalAlloc - before.TotalAlloc) / uint64(repeats)
 	return m, nil
 }
 

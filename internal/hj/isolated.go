@@ -3,6 +3,7 @@ package hj
 import (
 	"runtime"
 	"sort"
+	"time"
 )
 
 // Isolated executes fn in mutual exclusion with every other Isolated
@@ -47,16 +48,25 @@ func (c *Ctx) IsolatedOn(locks []*Lock, fn func()) {
 	fn()
 }
 
-// spinAcquire blocks until l is acquired, yielding progressively so a
-// holder running on the same P can make progress.
+// spinAcquire blocks until l is acquired, escalating from raw spinning
+// through scheduler yields to short parked sleeps. The sleep tier matters
+// under oversubscription (more workers than GOMAXPROCS): Gosched only
+// reshuffles runnable goroutines on the current Ps, so when every P is
+// occupied by a spinning waiter, a preempted lock holder can starve
+// indefinitely — parking the waiter, however briefly, frees its P for the
+// holder to finish.
 func spinAcquire(l *Lock) {
 	for spins := 0; ; spins++ {
 		if l.tryAcquire() {
 			return
 		}
-		if spins < 32 {
-			continue
+		switch {
+		case spins < 32:
+			// Busy-spin: the common uncontended-ish case, holder exits fast.
+		case spins < 1024:
+			runtime.Gosched()
+		default:
+			time.Sleep(10 * time.Microsecond)
 		}
-		runtime.Gosched()
 	}
 }

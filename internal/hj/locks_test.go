@@ -1,6 +1,7 @@
 package hj
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 )
@@ -263,6 +264,34 @@ func BenchmarkIsolatedGlobal(b *testing.B) {
 	rt.Finish(func(ctx *Ctx) {
 		for i := 0; i < b.N; i++ {
 			ctx.Isolated(func() {})
+		}
+	})
+}
+
+// TestIsolatedOversubscribed runs IsolatedOn with far more workers than
+// GOMAXPROCS. Pure Gosched spinning can starve a preempted lock holder
+// when every P is occupied by a spinning waiter (each yield just picks
+// another waiter); spinAcquire's parked-sleep escalation must let the
+// holder run, so the test's only assertion is that it terminates (with a
+// correct count) at 4× oversubscription, race detector included.
+func TestIsolatedOversubscribed(t *testing.T) {
+	workers := 4 * runtime.GOMAXPROCS(0)
+	withRuntime(t, workers, func(rt *Runtime) {
+		l := NewLock()
+		counter := 0 // deliberately not atomic; IsolatedOn is the only guard
+		tasks := 4 * workers
+		perTask := 200
+		rt.Finish(func(ctx *Ctx) {
+			for i := 0; i < tasks; i++ {
+				ctx.Async(func(c *Ctx) {
+					for j := 0; j < perTask; j++ {
+						c.IsolatedOn([]*Lock{l}, func() { counter++ })
+					}
+				})
+			}
+		})
+		if want := tasks * perTask; counter != want {
+			t.Fatalf("counter = %d, want %d", counter, want)
 		}
 	})
 }

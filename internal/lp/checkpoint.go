@@ -127,6 +127,15 @@ func (p *proc) restore(c *ckpt) {
 // crash point: checkpoint, scramble, restore.
 func (p *proc) restart() {
 	p.checkCanceled()
+	// The checkpoint deliberately excludes the transport layer, so it is
+	// only crash-consistent while nothing sent-and-counted is still
+	// buffered; every path to the loop top flushes, and a crash anywhere
+	// else would re-send or lose messages.
+	for _, buf := range p.outBuf {
+		if len(buf) != 0 {
+			panic("lp: loop-top restart with buffered outgoing messages")
+		}
+	}
 	c := p.checkpoint()
 	p.scramble()
 	p.restore(c)

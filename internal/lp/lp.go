@@ -119,9 +119,24 @@ type Config struct {
 	Probe *Probe
 }
 
-// DefaultInboxCap is the default per-LP inbox bound: small enough for
-// backpressure, large enough that senders rarely stall.
+// DefaultInboxCap is the default per-LP inbox bound (in batches): small
+// enough for backpressure, large enough that senders rarely stall.
 const DefaultInboxCap = 1024
+
+// batchCap is the coalescing limit of one cross-partition batch: an LP
+// buffers outgoing messages per destination and ships them as a single
+// channel send when the buffer fills or the LP reaches a blocking point,
+// amortizing channel synchronization over up to batchCap messages.
+const batchCap = 64
+
+// Hot-path arenas, shared by every Run in the process (sync.Pool), so
+// steady-state simulation recycles its buffers across runs instead of
+// allocating. All element types are pointer-free — see queue.Arena.
+var (
+	msgArena   queue.Arena[Msg]   // cross-partition message batches
+	evArena    queue.Arena[event] // per-port event deque rings
+	wsArena    queue.Arena[int32] // per-LP workset rings
+)
 
 // ErrCanceled reports an LP that unwound because Config.Ctx was canceled.
 // Run folds it into the context's cause; it only escapes through
@@ -150,7 +165,9 @@ type Stats struct {
 	Partitions int   // number of LPs
 	CutEdges   int   // cross-partition circuit edges
 	EventMsgs  int64 // cross-partition signal-event messages
-	NullMsgs   int64 // finite-timestamp null (clock-advance) messages
+	NullMsgs   int64 // standalone finite-timestamp null (clock-advance) messages
+	PiggyNulls int64 // channel promises piggybacked on outgoing event batches
+	Batches    int64 // cross-partition channel sends (each carrying ≥1 message)
 	Restarts   int64 // kill-and-restart cycles performed by interceptors
 	EdgeCut    float64
 	Imbalance  float64
@@ -167,8 +184,8 @@ func (s Stats) NullRatio() float64 {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("lps=%d cut-edges=%d event-msgs=%d null-msgs=%d null-ratio=%.3f edge-cut=%.1f%% imbalance=%.2f",
-		s.Partitions, s.CutEdges, s.EventMsgs, s.NullMsgs, s.NullRatio(), 100*s.EdgeCut, s.Imbalance)
+	return fmt.Sprintf("lps=%d cut-edges=%d event-msgs=%d null-msgs=%d piggy-nulls=%d batches=%d null-ratio=%.3f edge-cut=%.1f%% imbalance=%.2f",
+		s.Partitions, s.CutEdges, s.EventMsgs, s.NullMsgs, s.PiggyNulls, s.Batches, s.NullRatio(), 100*s.EdgeCut, s.Imbalance)
 }
 
 // Result is the outcome of one Run.
@@ -193,11 +210,18 @@ const (
 // forward messages; the zero value is not meaningful.
 type Msg struct {
 	Kind MsgKind
-	Src  int32 // sending LP (MsgNullChan)
+	Src  int32 // sending LP (MsgNullChan, and MsgEvent with Bound set)
 	Node int32 // destination node (MsgEvent, MsgNullEdge)
 	Port int32
 	Time int64 // event timestamp, or the promised bound (MsgNullChan)
 	Val  circuit.Value
+	// Bound, when positive on a MsgEvent, piggybacks a channel promise on
+	// the event (the same statement a MsgNullChan with Time=Bound from LP
+	// Src would make): after applying the event itself, the receiver
+	// advances every port fed by LP Src to Bound. Senders stamp it only on
+	// the final message of an outgoing batch, so no event travelling in
+	// front of the promise can be under it. Zero means no promise.
+	Bound int64
 }
 
 // Delivery is one message an Interceptor wants transported now.
@@ -323,8 +347,15 @@ type proc struct {
 	r     *run
 	nodes []int32 // owned node IDs
 	topo  []int32 // owned node IDs in intra-partition topological order
-	inbox chan Msg
+	inbox chan []Msg
 	ic    Interceptor // nil when no fault injection
+
+	// outBuf[to] is the pending outgoing batch for LP to, shipped as one
+	// channel send by flushTo. Invariant: every outBuf entry is empty at
+	// the top of the main loop (all paths there pass a flushAll), which is
+	// what makes loop-top checkpoints crash-consistent — a counted message
+	// has always actually left.
+	outBuf [][]Msg
 
 	// Outbound channel i goes to LP outbound[i]; outSrcs[i] lists the
 	// distinct local source nodes of its cut edges, and lastNull[i] the
@@ -340,10 +371,12 @@ type proc struct {
 	ws        queue.Deque[int32]
 	remaining int // owned nodes that have not terminated
 
-	eventMsgs int64
-	nullMsgs  int64
-	restarts  int64
-	err       error
+	eventMsgs  int64
+	nullMsgs   int64
+	piggyNulls int64
+	batches    int64
+	restarts   int64
+	err        error
 
 	// Diagnostics, written by this LP and read by Probe goroutines.
 	progress   atomic.Uint64 // messages applied + node activations
@@ -450,14 +483,25 @@ func Run(c *circuit.Circuit, stim *circuit.Stimulus, plan *partition.Plan, cfg C
 		r.procs[i] = &proc{
 			id:      int32(i),
 			r:       r,
-			inbox:   make(chan Msg, inboxCap),
+			inbox:   make(chan []Msg, inboxCap),
+			outBuf:  make([][]Msg, plan.K),
 			inEdges: make(map[int32][]inEdge),
 		}
+		r.procs[i].ws.SetArena(&wsArena)
 		if cfg.NewInterceptor != nil {
 			r.procs[i].ic = cfg.NewInterceptor(i)
 		}
 	}
 
+	// Slab-allocate the per-node port and fanout arrays: two allocations
+	// for the whole circuit instead of two per node.
+	totalIn, totalOut := 0, 0
+	for i := range c.Nodes {
+		totalIn += c.Nodes[i].NumIn()
+		totalOut += len(c.Nodes[i].Fanout)
+	}
+	portSlab := make([]port, totalIn)
+	destSlab := make([]dest, totalOut)
 	for i := range c.Nodes {
 		cn := &c.Nodes[i]
 		n := &r.nodes[i]
@@ -468,14 +512,15 @@ func Run(c *circuit.Circuit, stim *circuit.Stimulus, plan *partition.Plan, cfg C
 		for p := 0; p < cn.NumIn(); p++ {
 			n.fanin[p] = int32(cn.Fanin[p])
 		}
-		n.fanout = make([]dest, len(cn.Fanout))
+		n.fanout, destSlab = destSlab[:len(cn.Fanout):len(cn.Fanout)], destSlab[len(cn.Fanout):]
 		for j, p := range cn.Fanout {
 			lp := r.owner[p.Node]
 			n.fanout[j] = dest{node: int32(p.Node), port: int32(p.In), lp: lp, cross: lp != r.owner[i]}
 		}
-		n.ports = make([]port, cn.NumIn())
+		n.ports, portSlab = portSlab[:cn.NumIn():cn.NumIn()], portSlab[cn.NumIn():]
 		for p := range n.ports {
 			n.ports[p].clock = clockUnset
+			n.ports[p].q.SetArena(&evArena)
 		}
 		owner := r.procs[r.owner[i]]
 		owner.nodes = append(owner.nodes, int32(i))
@@ -545,7 +590,18 @@ func Run(c *circuit.Circuit, stim *circuit.Stimulus, plan *partition.Plan, cfg C
 		}
 		res.Stats.EventMsgs += p.eventMsgs
 		res.Stats.NullMsgs += p.nullMsgs
+		res.Stats.PiggyNulls += p.piggyNulls
+		res.Stats.Batches += p.batches
 		res.Stats.Restarts += p.restarts
+	}
+	// Every LP has joined: recycle the arena-backed rings for later runs.
+	for i := range r.nodes {
+		for pi := range r.nodes[i].ports {
+			r.nodes[i].ports[pi].q.Release()
+		}
+	}
+	for _, p := range r.procs {
+		p.ws.Release()
 	}
 	if firstErr != nil {
 		return nil, firstErr
@@ -594,15 +650,18 @@ func (p *proc) main() {
 		p.processLocal()
 		if p.remaining == 0 {
 			p.flushHeld()
+			p.flushAll()
 			p.state.Store(stateDone)
 			return
 		}
 		// No ready work and not done: some cross-fed port is still open
 		// (intra-partition dependencies always resolve within the DAG).
 		// Release anything an interceptor held back, promise our output
-		// bounds downstream, then block for input.
+		// bounds downstream (piggybacked on the buffered events where
+		// possible), ship every pending batch, then block for input.
 		p.flushHeld()
 		p.sendNulls()
+		p.flushAll()
 		// A send that stalled on a full peer inbox drains our own inbox
 		// meanwhile, which can ready local work; block only if the
 		// workset is still empty, or the peers may all be waiting on the
@@ -624,14 +683,14 @@ func (p *proc) checkCanceled() {
 	}
 }
 
-// blockRecv waits for one inbox message, publishing blocked-recv state for
+// blockRecv waits for one inbox batch, publishing blocked-recv state for
 // diagnostics and honoring cancellation.
 func (p *proc) blockRecv() {
 	p.noteBlocked(stateBlockedRecv, -1)
 	defer p.state.Store(stateRunning)
 	select {
-	case m := <-p.inbox:
-		p.apply(m)
+	case batch := <-p.inbox:
+		p.applyBatch(batch)
 	case <-p.r.done:
 		panic(lpCanceled{})
 	}
@@ -665,14 +724,15 @@ func (p *proc) abort() {
 			if !d.cross {
 				continue
 			}
-			m := Msg{Kind: MsgNullEdge, Node: d.node, Port: d.port}
+			b := msgArena.Get(1)
+			b = append(b, Msg{Kind: MsgNullEdge, Node: d.node, Port: d.port})
 			box := p.r.procs[d.lp].inbox
 			for attempt := 0; attempt < 1024; attempt++ {
 				select {
-				case box <- m:
+				case box <- b:
 					attempt = 1024
 				case in := <-p.inbox:
-					_ = in // discard: local state is already poisoned
+					msgArena.Put(in) // discard: local state is already poisoned
 				default:
 				}
 			}
@@ -696,6 +756,7 @@ func (p *proc) floodInputs() {
 		}
 		p.sendNull(n)
 	}
+	p.flushAll() // loop-top invariant: no buffered outgoing messages
 }
 
 // deliver routes one event along a fanout edge: locally into the
@@ -755,14 +816,35 @@ func (p *proc) flushHeld() {
 	}
 }
 
-// rawSend places m into LP to's inbox. If the inbox is full the sender
-// drains its own inbox while waiting, so cyclic backpressure cannot
-// deadlock: some LP can always make progress. Cancellation unwinds the
-// LP from here via the lpCanceled sentinel.
+// rawSend appends m to the pending batch for LP to, shipping the batch
+// when it reaches batchCap. Messages to one destination stay in append
+// order, so per-port FIFO is preserved through the batching layer.
 func (p *proc) rawSend(to int32, m Msg) {
+	buf := p.outBuf[to]
+	if buf == nil {
+		buf = msgArena.Get(batchCap)
+	}
+	buf = append(buf, m)
+	p.outBuf[to] = buf
+	if len(buf) >= batchCap {
+		p.flushTo(to)
+	}
+}
+
+// flushTo ships the pending batch for LP to as one channel send. If the
+// inbox is full the sender drains its own inbox while waiting, so cyclic
+// backpressure cannot deadlock: some LP can always make progress.
+// Cancellation unwinds the LP from here via the lpCanceled sentinel.
+func (p *proc) flushTo(to int32) {
+	buf := p.outBuf[to]
+	if len(buf) == 0 {
+		return
+	}
+	p.outBuf[to] = nil
+	p.batches++
 	box := p.r.procs[to].inbox
 	select {
-	case box <- m:
+	case box <- buf:
 		return
 	default:
 	}
@@ -770,13 +852,20 @@ func (p *proc) rawSend(to int32, m Msg) {
 	defer p.state.Store(stateRunning)
 	for {
 		select {
-		case box <- m:
+		case box <- buf:
 			return
 		case in := <-p.inbox:
-			p.apply(in)
+			p.applyBatch(in)
 		case <-p.r.done:
 			panic(lpCanceled{})
 		}
+	}
+}
+
+// flushAll ships every pending batch, leaving outBuf empty.
+func (p *proc) flushAll() {
+	for to := range p.outBuf {
+		p.flushTo(int32(to))
 	}
 }
 
@@ -788,26 +877,44 @@ func (p *proc) apply(m Msg) {
 	case MsgEvent:
 		p.receive(m.Node, m.Port, event{time: m.Time, val: m.Val})
 		p.wake(m.Node)
+		if m.Bound > 0 {
+			p.applyPromise(m.Src, m.Bound)
+		}
 	case MsgNullEdge:
 		p.r.nodes[m.Node].ports[m.Port].clock = TimeInfinity
 		p.wake(m.Node)
 	case MsgNullChan:
-		for _, e := range p.inEdges[m.Src] {
-			pt := &p.r.nodes[e.node].ports[e.port]
-			if m.Time > pt.clock {
-				pt.clock = m.Time
-				p.wake(e.node)
-			}
+		p.applyPromise(m.Src, m.Time)
+	}
+}
+
+// applyPromise ratchets forward the clock of every port fed by LP src:
+// no event below bound will ever arrive on that channel again.
+func (p *proc) applyPromise(src int32, bound int64) {
+	for _, e := range p.inEdges[src] {
+		pt := &p.r.nodes[e.node].ports[e.port]
+		if bound > pt.clock {
+			pt.clock = bound
+			p.wake(e.node)
 		}
 	}
 }
 
-// drainInbox applies every currently queued message without blocking.
+// applyBatch applies one received batch in order and recycles its
+// backing array.
+func (p *proc) applyBatch(batch []Msg) {
+	for i := range batch {
+		p.apply(batch[i])
+	}
+	msgArena.Put(batch)
+}
+
+// drainInbox applies every currently queued batch without blocking.
 func (p *proc) drainInbox() {
 	for {
 		select {
-		case m := <-p.inbox:
-			p.apply(m)
+		case batch := <-p.inbox:
+			p.applyBatch(batch)
 		default:
 			return
 		}
@@ -932,7 +1039,13 @@ func (p *proc) relax() {
 }
 
 // sendNulls promises the current output bound on every outbound channel
-// where it improves on the previous promise.
+// where it improves on the previous promise. When the channel already
+// has a batch waiting to be flushed, the promise piggybacks on it — as a
+// Bound stamp on a trailing event, or one extra batch entry — instead of
+// costing a standalone null message; only a quiet channel (empty buffer)
+// pays for a message of its own. Piggybacking is bypassed when an
+// interceptor is installed, so fault injection keeps seeing (and may
+// drop, hold or duplicate) the full standalone null stream.
 func (p *proc) sendNulls() {
 	if len(p.outbound) == 0 {
 		return
@@ -947,10 +1060,27 @@ func (p *proc) sendNulls() {
 		}
 		// An all-terminated channel needs no promise: its per-edge
 		// NULL(∞) messages have already closed the receiving ports.
-		if promise != TimeInfinity && promise > p.lastNull[i] {
-			p.lastNull[i] = promise
-			p.nullMsgs++
-			p.send(to, Msg{Kind: MsgNullChan, Src: p.id, Time: promise})
+		if promise == TimeInfinity || promise <= p.lastNull[i] {
+			continue
 		}
+		p.lastNull[i] = promise
+		if p.ic == nil {
+			if buf := p.outBuf[to]; len(buf) > 0 {
+				// Stamp only the final message of the batch: everything in
+				// front of the promise was buffered before it, so no event
+				// can travel behind a bound that outruns it.
+				last := &buf[len(buf)-1]
+				if last.Kind == MsgEvent && last.Bound == 0 {
+					last.Src = p.id
+					last.Bound = promise
+				} else {
+					p.outBuf[to] = append(buf, Msg{Kind: MsgNullChan, Src: p.id, Time: promise})
+				}
+				p.piggyNulls++
+				continue
+			}
+		}
+		p.nullMsgs++
+		p.send(to, Msg{Kind: MsgNullChan, Src: p.id, Time: promise})
 	}
 }

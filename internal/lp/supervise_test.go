@@ -117,9 +117,11 @@ func (ci *crashOnce) OnSend(src, to int32, m Msg) []Delivery {
 func (ci *crashOnce) OnBlock(src int32) []Delivery { return nil }
 func (ci *crashOnce) CrashPoint(src int32) bool {
 	ci.calls++
-	// Stagger crash points across LPs so restarts hit mid-simulation
-	// state, not just the initial checkpoint.
-	if ci.kills < ci.max && ci.calls%(5+ci.lp) == 3 {
+	// Batched delivery leaves each LP only a handful of loop-top crash
+	// points per run, so kill eagerly: even LPs from their first loop
+	// top (the post-flood checkpoint), odd LPs from their second (a
+	// mid-simulation checkpoint with applied-but-unprocessed events).
+	if ci.kills < ci.max && ci.calls >= 1+ci.lp%2 {
 		ci.kills++
 		return true
 	}

@@ -1,0 +1,95 @@
+package queue
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Arena size-class bounds: pooled slice capacities are powers of two from
+// 1<<minArenaShift up to 1<<maxArenaShift elements; requests outside the
+// range fall through to plain allocation.
+const (
+	minArenaShift   = 3  // smallest pooled capacity: 8 elements
+	maxArenaShift   = 20 // largest pooled capacity: ~1M elements
+	numArenaClasses = maxArenaShift - minArenaShift + 1
+)
+
+// maxPow2 is the largest power of two representable in an int; capacity
+// computations clamp here instead of shifting past the sign bit.
+const maxPow2 = 1 << 62
+
+// ceilPow2 rounds n up to the next power of two, clamping at maxPow2. (A
+// naive doubling loop overflows negative for huge n and then spins
+// forever; this is the overflow-safe form every capacity computation in
+// the package goes through.)
+func ceilPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	if n > maxPow2 {
+		return maxPow2
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// Arena is a sync.Pool-backed free list of slices, bucketed by
+// power-of-two size classes. It recycles the hot-path buffers of the
+// simulation engines — event deque rings, message batches, worksets —
+// across runs, so steady-state execution allocates nothing.
+//
+// Recycled backing arrays are handed back with their stale contents
+// intact (clearing them would cost a pass over every buffer on every
+// Put); an Arena is therefore meant for pointer-free element types,
+// where stale values are invisible and retain no garbage.
+//
+// The zero value is ready to use. All methods are safe for concurrent
+// use.
+type Arena[T any] struct {
+	classes [numArenaClasses]sync.Pool
+	// holders recycles the *[]T boxes the class pools store. Putting a
+	// slice header into a sync.Pool directly would allocate a fresh box
+	// per Put, costing exactly the allocation the arena exists to avoid.
+	holders sync.Pool
+}
+
+// Get returns a slice with length 0 and capacity at least capacity,
+// recycled when a suitable buffer is pooled. Requests above the largest
+// size class are plainly allocated (and will not be pooled on Put).
+func (a *Arena[T]) Get(capacity int) []T {
+	c := ceilPow2(capacity)
+	if c < 1<<minArenaShift {
+		c = 1 << minArenaShift
+	}
+	if c > 1<<maxArenaShift {
+		return make([]T, 0, capacity)
+	}
+	cl := bits.Len(uint(c)) - 1 - minArenaShift
+	if v := a.classes[cl].Get(); v != nil {
+		h := v.(*[]T)
+		s := *h
+		*h = nil
+		a.holders.Put(h)
+		return s
+	}
+	return make([]T, 0, c)
+}
+
+// Put recycles the slice's backing array for a later Get. Capacities
+// outside the size-class range are dropped. The caller must not use s
+// (or any slice sharing its array) afterwards.
+func (a *Arena[T]) Put(s []T) {
+	c := cap(s)
+	if c < 1<<minArenaShift || c > 1<<maxArenaShift {
+		return
+	}
+	// Round down: a buffer of capacity c can serve any class ≤ c.
+	cl := bits.Len(uint(c)) - 1 - minArenaShift
+	var h *[]T
+	if v := a.holders.Get(); v != nil {
+		h = v.(*[]T)
+	} else {
+		h = new([]T)
+	}
+	*h = s[:0]
+	a.classes[cl].Put(h)
+}

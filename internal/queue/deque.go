@@ -12,20 +12,38 @@ package queue
 // use; the DES engines guard each Deque with a per-port lock, which is
 // exactly the design the paper adopts in Section 4.5.1.
 type Deque[T any] struct {
-	buf  []T
-	head int // index of the first element
-	n    int // number of elements
+	buf   []T
+	head  int // index of the first element
+	n     int // number of elements
+	arena *Arena[T] // optional ring recycler; nil means plain allocation
 }
 
 const minDequeCap = 8
 
 // NewDeque returns a deque with capacity for at least capacity elements.
+// Huge requests clamp at the largest power-of-two int instead of
+// overflowing (the allocation itself may still fail, but loudly).
 func NewDeque[T any](capacity int) *Deque[T] {
-	c := minDequeCap
-	for c < capacity {
-		c <<= 1
+	c := ceilPow2(capacity)
+	if c < minDequeCap {
+		c = minDequeCap
 	}
 	return &Deque[T]{buf: make([]T, c)}
+}
+
+// SetArena makes the deque allocate (and on Release, recycle) its ring
+// through a; see the Arena type for the pointer-free-element caveat.
+// Call before first use or after Release.
+func (d *Deque[T]) SetArena(a *Arena[T]) { d.arena = a }
+
+// Release empties the deque and returns its ring to the arena set via
+// SetArena (dropped for GC when none). The deque remains usable.
+func (d *Deque[T]) Release() {
+	if d.arena != nil && len(d.buf) > 0 {
+		d.arena.Put(d.buf)
+	}
+	d.buf = nil
+	d.head, d.n = 0, 0
 }
 
 // Len reports the number of elements in the deque.
@@ -40,11 +58,22 @@ func (d *Deque[T]) Cap() int { return len(d.buf) }
 func (d *Deque[T]) grow() {
 	newCap := minDequeCap
 	if len(d.buf) > 0 {
+		if len(d.buf) > maxPow2/2 {
+			panic("queue: Deque capacity overflow")
+		}
 		newCap = len(d.buf) * 2
 	}
-	buf := make([]T, newCap)
+	var buf []T
+	if d.arena != nil {
+		buf = d.arena.Get(newCap)[:newCap]
+	} else {
+		buf = make([]T, newCap)
+	}
 	for i := 0; i < d.n; i++ {
 		buf[i] = d.buf[(d.head+i)&(len(d.buf)-1)]
+	}
+	if d.arena != nil && len(d.buf) > 0 {
+		d.arena.Put(d.buf)
 	}
 	d.buf = buf
 	d.head = 0

@@ -148,3 +148,76 @@ func TestMomentProperties(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// unitSD returns an n-point sample with mean 0 and sample standard
+// deviation exactly 1, so CI95 must equal tCritical95(n-1)/sqrt(n).
+func unitSD(n int) *Sample {
+	s := New()
+	if n%2 == 1 {
+		s.Add(0)
+		n--
+	}
+	c := 1.0
+	if s.N() == 0 { // even n: ±c with c = sqrt((n-1)/n) gives sample sd 1
+		c = math.Sqrt(float64(n-1) / float64(n))
+	}
+	for i := 0; i < n/2; i++ {
+		s.Add(c)
+		s.Add(-c)
+	}
+	return s
+}
+
+// TestCI95StudentTPinned pins CI95 against hand-computed Student-t
+// half-widths at the interesting sample sizes: n=2 (df=1, the fat
+// t=12.706 end), n=20 (the paper's repeat count, df=19), n=31 (df=30,
+// the last table entry) and n=32 (df=31, the first normal-approximation
+// 1.96 value past the table).
+func TestCI95StudentTPinned(t *testing.T) {
+	// n=2 computed fully by hand: sample {0, 1} has sd = sqrt(1/2), so
+	// CI95 = 12.706 * sqrt(1/2) / sqrt(2) = 12.706 / 2.
+	two := New(0, 1)
+	if want := 12.706 / 2; !almost(two.CI95(), want) {
+		t.Errorf("n=2: CI95 = %v, want %v", two.CI95(), want)
+	}
+	for _, tc := range []struct {
+		n    int
+		crit float64
+	}{
+		{2, 12.706},
+		{20, 2.093},
+		{31, 2.042},
+		{32, 1.96}, // tTable95 → normal-approximation crossover
+	} {
+		s := unitSD(tc.n)
+		if s.N() != tc.n || !almost(s.Mean(), 0) || !almost(s.StdDev(), 1) {
+			t.Fatalf("unitSD(%d): n=%d mean=%v sd=%v", tc.n, s.N(), s.Mean(), s.StdDev())
+		}
+		want := tc.crit / math.Sqrt(float64(tc.n))
+		if !almost(s.CI95(), want) {
+			t.Errorf("n=%d: CI95 = %v, want %v (t=%v)", tc.n, s.CI95(), want, tc.crit)
+		}
+	}
+}
+
+// TestRatioNaNPropagation: Speedup and PercentReduction must answer NaN —
+// never ±Inf or a sign-flipped ratio — for non-positive and NaN inputs
+// in the guarded position, and propagate NaN from the other operand.
+func TestRatioNaNPropagation(t *testing.T) {
+	nan := math.NaN()
+	for _, bad := range []float64{0, -1, math.Inf(-1), nan} {
+		if got := Speedup(10, bad); !math.IsNaN(got) {
+			t.Errorf("Speedup(10, %v) = %v, want NaN", bad, got)
+		}
+		if got := PercentReduction(bad, 10); !math.IsNaN(got) {
+			t.Errorf("PercentReduction(%v, 10) = %v, want NaN", bad, got)
+		}
+	}
+	// NaN in the unguarded operand must come out as NaN, not a number.
+	if got := Speedup(nan, 2); !math.IsNaN(got) {
+		t.Errorf("Speedup(NaN, 2) = %v, want NaN", got)
+	}
+	if got := PercentReduction(100, nan); !math.IsNaN(got) {
+		t.Errorf("PercentReduction(100, NaN) = %v, want NaN", got)
+	}
+}
