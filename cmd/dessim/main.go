@@ -48,6 +48,8 @@ var (
 	naiveFlag    = flag.Bool("naive-respawn", false, "hj: disable avoidance of unnecessary asyncs")
 	isoFlag      = flag.Bool("global-isolated", false, "hj: use the global isolated construct instead of TryLock")
 	mutexFlag    = flag.Bool("mutex-locks", false, "hj: back locks with sync.Mutex instead of atomic booleans")
+	noAffFlag    = flag.Bool("no-affinity", false, "hj: disable locality-aware mailbox wakeups (no home workers)")
+	steal1Flag   = flag.Bool("single-steal", false, "hj: classic one-task steal instead of batched steal-half")
 )
 
 func fatalf(format string, args ...any) {
@@ -70,6 +72,8 @@ func main() {
 		NaiveRespawn:   *naiveFlag,
 		GlobalIsolated: *isoFlag,
 		MutexLocks:     *mutexFlag,
+		NoAffinity:     *noAffFlag,
+		SingleSteal:    *steal1Flag,
 		TimeWarpWindow: *twWindow,
 		LPInboxCap:     *inboxFlag,
 		DiscardOutputs: !*verifyFlag && *vcdFlag == "",

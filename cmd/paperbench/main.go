@@ -30,6 +30,7 @@ var (
 	csvFlag     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 	circuitFlag = flag.String("circuit", "", "restrict experiments to one paper circuit by name (e.g. koggestone-64)")
 	jsonFlag    = flag.String("json", "", "with -exp bench: write machine-readable records to this file ('-' for stdout)")
+	hjAblFlag   = flag.Bool("hjablations", false, "with -exp bench: add hj scheduler ablation rows (hj-noaff, hj-steal1) at each worker count")
 )
 
 func fatalf(format string, args ...any) {
@@ -53,11 +54,12 @@ func emit(t *harness.Table) {
 func main() {
 	flag.Parse()
 	cfg := harness.Config{
-		Scale:      *scaleFlag,
-		Repeats:    *repeatsFlag,
-		MaxWorkers: *workersFlag,
-		Seed:       *seedFlag,
-		Timeout:    *timeoutFlag,
+		Scale:       *scaleFlag,
+		Repeats:     *repeatsFlag,
+		MaxWorkers:  *workersFlag,
+		Seed:        *seedFlag,
+		Timeout:     *timeoutFlag,
+		HJAblations: *hjAblFlag,
 	}
 	if *circuitFlag != "" {
 		for _, pc := range harness.PaperCircuits {

@@ -309,6 +309,8 @@ func TestEngineNames(t *testing.T) {
 		"hj-naive":       NewHJ(Options{NaiveRespawn: true}),
 		"hj-isolated":    NewHJ(Options{GlobalIsolated: true}),
 		"hj-mutex":       NewHJ(Options{MutexLocks: true}),
+		"hj-noaff":       NewHJ(Options{NoAffinity: true}),
+		"hj-steal1":      NewHJ(Options{SingleSteal: true}),
 		"galois":         NewGalois(Options{}),
 		"galois-fine":    NewGaloisFine(Options{}),
 		"galois-ordered": NewOrdered(Options{}),

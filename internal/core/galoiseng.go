@@ -95,13 +95,16 @@ func (e *galoisEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result,
 			// Per-port granularity: own every input port (to drain
 			// ready events) and every fanout destination port (to
 			// deliver), mirroring the HJ engine's per-port lock set.
-			hadWork := !ns.nullSent
 			for p := range ns.ports {
 				it.Acquire(&ns.ports[p].obj)
 			}
 			for _, d := range ns.fanout {
 				it.Acquire(&s.nodes[d.node].ports[d.port].obj)
 			}
+			// nullSent may only be read once the node's ports are owned:
+			// a concurrent activity for the same node sets it inside
+			// sendNull under the same ownership.
+			hadWork := !ns.nullSent
 			if !hadWork && !ns.needsRun() {
 				return // spurious activity
 			}

@@ -4,12 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"sync/atomic"
 	"time"
 
 	"hjdes/internal/circuit"
 	"hjdes/internal/hj"
+	"hjdes/internal/partition"
 )
 
 // hjEngine is Algorithm 2: parallel simulation on the hj work-stealing
@@ -55,6 +55,12 @@ func NewHJ(opts Options) Engine {
 	if opts.MutexLocks {
 		name += "-mutex"
 	}
+	if opts.NoAffinity {
+		name += "-noaff"
+	}
+	if opts.SingleSteal {
+		name += "-steal1"
+	}
 	// A single per-node event queue cannot be guarded by per-port locks:
 	// two upstream tasks owning different destination ports would push
 	// into the same heap concurrently. The data structure dictates the
@@ -94,6 +100,16 @@ type hjRun struct {
 	eng    *hjEngine
 	plans  []hjNodePlan
 	record bool
+	// body is the one shared RunNode function value: nodes are spawned by
+	// index (hj.AsyncIdx*), so respawns allocate no per-node closure.
+	body hj.IndexedTask
+	// home maps each node to the worker that owns it (a K-way partition
+	// of the circuit, K = workers); nil when affinity is disabled or the
+	// runtime has one worker. Wakeups are submitted to the home worker's
+	// mailbox, so a node's tasks tend to run where its locks and event
+	// queues are already cached — and two tasks racing for the same locks
+	// tend to serialize on one worker instead of respawning.
+	home []int32
 	// bufs are per-worker ready-event buffers, indexed by WorkerID.
 	bufs [][]portEvent
 }
@@ -120,12 +136,29 @@ func (e *hjEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.St
 		s.initLocks(e.opts.PerNodeLocks, e.opts.MutexLocks)
 	}
 	r := &hjRun{s: s, eng: e, record: !e.opts.DiscardOutputs}
+	r.body = r.runNodeIdx
 	r.buildPlans()
 
-	rt := hj.NewRuntime(hj.Config{Workers: e.opts.workers()})
+	cfg := hj.Config{Workers: e.opts.workers()}
+	if e.opts.SingleSteal {
+		cfg.StealMax = 1
+	}
+	rt := hj.NewRuntime(cfg)
 	defer rt.Shutdown()
 	e.rt.Store(rt)
 	r.bufs = make([][]portEvent, rt.NumWorkers())
+	// Locality-aware wakeups: partition the circuit K ways (K = workers)
+	// and pin each node's tasks to its partition's worker. The
+	// partitioner is deterministic and O(edges), a negligible one-time
+	// cost next to the millions of events a run processes.
+	if w := rt.NumWorkers(); w > 1 && !e.opts.NoAffinity {
+		if plan, perr := partition.Partition(c, w); perr == nil {
+			r.home = make([]int32, len(s.nodes))
+			for id, p := range plan.Assign {
+				r.home[id] = int32(p)
+			}
+		}
+	}
 	before := rt.Stats()
 
 	// Propagate external cancellation into the runtime; the watcher is
@@ -142,12 +175,7 @@ func (e *hjEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.St
 		}()
 	}
 
-	// Preallocate the per-node RunNode closure so respawns do not
-	// allocate, then launch one task per input node (Algorithm 2, RUN()).
-	for i := range s.nodes {
-		ns := &s.nodes[i]
-		r.bindTask(ns)
-	}
+	// Launch one task per input node (Algorithm 2, RUN()).
 	rt.Finish(func(hctx *hj.Ctx) {
 		for _, id := range c.Inputs {
 			r.schedule(hctx, int32(id))
@@ -185,71 +213,108 @@ func (e *hjEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.St
 	}, nil
 }
 
-// bindTask exists so the closure captures stable locals per node.
-func (r *hjRun) bindTask(ns *nodeState) {
-	ns.task = func(ctx *hj.Ctx) { r.runNode(ctx, ns) }
-}
-
-// buildPlans computes every node's ordered lock set and wake list.
+// buildPlans computes every node's ordered lock set and wake list. It is
+// O(nodes·fanout) on every run of a large circuit, so it avoids per-node
+// churn: wake-list dedup uses one reusable epoch-stamped slice instead of
+// a map per node, the wake lists and lock sets are carved out of three
+// slab allocations, and the (small) lock sets are insertion-sorted in
+// place rather than through sort.Slice's per-call closures.
 func (r *hjRun) buildPlans() {
 	s := r.s
-	r.plans = make([]hjNodePlan, len(s.nodes))
+	n := len(s.nodes)
+	r.plans = make([]hjNodePlan, n)
+	// stamp[m] == epoch(i) marks m as already on node i's wake list; the
+	// epoch bump replaces clearing (or reallocating) the slice per node.
+	stamp := make([]int32, n)
+	totalOut := 0
+	for i := range s.nodes {
+		totalOut += len(s.nodes[i].fanout)
+	}
+	wakeSlab := make([]int32, 0, totalOut)
 	for i := range s.nodes {
 		ns := &s.nodes[i]
 		plan := &r.plans[i]
-		// Wake list: distinct downstream node ids.
-		seen := map[int32]bool{}
+		epoch := int32(i) + 1
+		start := len(wakeSlab)
 		for _, d := range ns.fanout {
-			if !seen[d.node] {
-				seen[d.node] = true
-				plan.wakeList = append(plan.wakeList, d.node)
+			if stamp[d.node] != epoch {
+				stamp[d.node] = epoch
+				wakeSlab = append(wakeSlab, d.node)
 			}
 		}
-		if r.eng.opts.GlobalIsolated {
-			continue
-		}
-		type entry struct {
-			l   *hj.Lock
-			own bool
-		}
-		var entries []entry
+		plan.wakeList = wakeSlab[start:len(wakeSlab):len(wakeSlab)]
+	}
+	if r.eng.opts.GlobalIsolated {
+		return
+	}
+	// Upper-bound the lock-entry slab: per-node locks need 1 + wake-list
+	// entries, per-port locks need own ports + fanout entries.
+	totalLocks := 0
+	for i := range s.nodes {
 		if r.eng.opts.PerNodeLocks {
-			entries = append(entries, entry{ns.nodeLock, true})
+			totalLocks += 1 + len(r.plans[i].wakeList)
+		} else {
+			totalLocks += len(s.nodes[i].ports) + len(s.nodes[i].fanout)
+		}
+	}
+	lockSlab := make([]*hj.Lock, 0, totalLocks)
+	ownSlab := make([]bool, 0, totalLocks)
+	for i := range s.nodes {
+		ns := &s.nodes[i]
+		plan := &r.plans[i]
+		start := len(lockSlab)
+		if r.eng.opts.PerNodeLocks {
+			lockSlab, ownSlab = append(lockSlab, ns.nodeLock), append(ownSlab, true)
 			for _, m := range plan.wakeList {
-				entries = append(entries, entry{s.nodes[m].nodeLock, false})
+				lockSlab, ownSlab = append(lockSlab, s.nodes[m].nodeLock), append(ownSlab, false)
 			}
 		} else {
 			for p := range ns.ports {
-				entries = append(entries, entry{ns.ports[p].lock, true})
+				lockSlab, ownSlab = append(lockSlab, ns.ports[p].lock), append(ownSlab, true)
 			}
 			for _, d := range ns.fanout {
-				entries = append(entries, entry{s.nodes[d.node].ports[d.port].lock, false})
+				lockSlab, ownSlab = append(lockSlab, s.nodes[d.node].ports[d.port].lock), append(ownSlab, false)
 			}
 		}
+		locks := lockSlab[start:len(lockSlab):len(lockSlab)]
+		own := ownSlab[start:len(ownSlab):len(ownSlab)]
 		// Ascending lock-ID acquisition order (paper Section 4.3:
 		// "acquires the locks in the ascending order of the node IDs").
-		sort.Slice(entries, func(a, b int) bool { return entries[a].l.ID() < entries[b].l.ID() })
-		plan.locks = make([]*hj.Lock, len(entries))
-		plan.own = make([]bool, len(entries))
-		for j, e := range entries {
-			plan.locks[j] = e.l
-			plan.own[j] = e.own
+		// Insertion sort: the sets are a handful of entries each.
+		for j := 1; j < len(locks); j++ {
+			l, o := locks[j], own[j]
+			k := j
+			for k > 0 && locks[k-1].ID() > l.ID() {
+				locks[k], own[k] = locks[k-1], own[k-1]
+				k--
+			}
+			locks[k], own[k] = l, o
 		}
+		plan.locks = locks
+		plan.own = own
 	}
 }
 
 // schedule arranges for a RunNode task for node id to exist: with the
 // scheduled-flag protocol a new task is spawned only if none is pending;
-// in NaiveRespawn mode a task is always spawned.
+// in NaiveRespawn mode a task is always spawned. Spawning goes through
+// the runtime's node-indexed fast path (no closure, recycled task
+// record), routed to the node's home worker when affinity is on.
 func (r *hjRun) schedule(ctx *hj.Ctx, id int32) {
 	ns := &r.s.nodes[id]
-	if r.eng.opts.NaiveRespawn {
-		ctx.Async(ns.task)
+	if !r.eng.opts.NaiveRespawn && !ns.scheduled.CompareAndSwap(false, true) {
 		return
 	}
-	if ns.scheduled.CompareAndSwap(false, true) {
-		ctx.Async(ns.task)
+	if r.home != nil {
+		ctx.AsyncIdxOn(int(r.home[id]), r.body, id)
+		return
 	}
+	ctx.AsyncIdx(r.body, id)
+}
+
+// runNodeIdx adapts runNode to the runtime's indexed-task spawn path.
+func (r *hjRun) runNodeIdx(ctx *hj.Ctx, id int32) {
+	r.runNode(ctx, &r.s.nodes[id])
 }
 
 // runNode is RUNNODE(n) from Algorithm 2, with the Section 4.5

@@ -72,6 +72,18 @@ type Options struct {
 	// Benchmarks set it to keep memory flat; correctness tests leave it
 	// unset.
 	DiscardOutputs bool
+
+	// NoAffinity disables the HJ engine's locality-aware wakeups: without
+	// it, each node is assigned a home worker from a K-way partition of
+	// the circuit and downstream wakeups are submitted to the owner's
+	// mailbox (hj.AsyncIdxOn); with it, every wakeup is pushed on the
+	// spawning worker's own deque and migrates only by stealing. Ablation
+	// knob for the scheduling-locality experiments.
+	NoAffinity bool
+
+	// SingleSteal restores the classic one-task-per-round Chase–Lev steal
+	// in the HJ runtime instead of batched steal-half. Ablation knob.
+	SingleSteal bool
 }
 
 func (o Options) workers() int {

@@ -37,6 +37,8 @@ func TestPropertyRandomCircuitEnginesAgree(t *testing.T) {
 			NewSequentialPQ(Options{}),
 			NewHJ(Options{Workers: 3}),
 			NewHJ(Options{Workers: 2, PerNodePQ: true, NoTempQueue: true}),
+			NewHJ(Options{Workers: 3, NoAffinity: true}),
+			NewHJ(Options{Workers: 3, SingleSteal: true}),
 			NewGalois(Options{Workers: 2}),
 			NewActor(Options{}),
 			NewLP(Options{Partitions: 1}),

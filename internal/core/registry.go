@@ -21,6 +21,8 @@ var (
 		"seq":            NewSequential,
 		"seq-pq":         NewSequentialPQ,
 		"hj":             NewHJ,
+		"hj-noaff":       func(o Options) Engine { o.NoAffinity = true; return NewHJ(o) },
+		"hj-steal1":      func(o Options) Engine { o.SingleSteal = true; return NewHJ(o) },
 		"galois":         NewGalois,
 		"galois-fine":    NewGaloisFine,
 		"galois-ordered": NewOrdered,

@@ -61,7 +61,6 @@ type nodeState struct {
 	// Parallel-engine state.
 	nodeLock  *hj.Lock    // per-node-lock mode (HJ engine ablation)
 	scheduled atomic.Bool // a task for this node exists or is running
-	task      hj.Task     // preallocated RunNode closure (HJ engine)
 	obj       galois.Object
 }
 

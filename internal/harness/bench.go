@@ -73,6 +73,16 @@ func BenchSweep(cfg Config) ([]BenchRecord, error) {
 				return nil, err
 			}
 			records = append(records, record(pc.Name, mHJ))
+			if cfg.HJAblations && w > 1 {
+				for _, abl := range []string{"hj-noaff", "hj-steal1"} {
+					mA, err := Measure(Spec{Label: fmt.Sprintf("%s/%s/w%d", pc.Name, abl, w), Circuit: c, Stim: stim,
+						Factory: factory(abl, core.Options{}), Workers: w, Repeats: cfg.repeats(), Timeout: cfg.Timeout})
+					if err != nil {
+						return nil, err
+					}
+					records = append(records, record(pc.Name, mA))
+				}
+			}
 			mLP, err := Measure(Spec{Label: fmt.Sprintf("%s/lp/w%d", pc.Name, w), Circuit: c, Stim: stim,
 				Factory: factory("lp", core.Options{Partitions: w}), Workers: w,
 				Repeats: cfg.repeats(), Timeout: cfg.Timeout})

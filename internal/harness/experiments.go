@@ -34,6 +34,10 @@ type Config struct {
 	// every experiment (useful for benchmarking your own circuits, and
 	// for fast test configurations). Defaults to PaperCircuits.
 	Circuits []PaperCircuit
+	// HJAblations adds the hj scheduler ablation rows (hj-noaff: no
+	// locality-aware wakeups; hj-steal1: single-task steal instead of
+	// steal-half) to the bench sweep at every worker count above one.
+	HJAblations bool
 }
 
 func (cfg Config) circuits() []PaperCircuit {

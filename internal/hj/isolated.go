@@ -14,7 +14,7 @@ func (c *Ctx) Isolated(fn func()) {
 	rt := c.worker.rt
 	rt.globalIso.Lock()
 	defer rt.globalIso.Unlock()
-	rt.stats.Isolated.Add(1)
+	c.worker.stats.isolated.Add(1)
 	fn()
 }
 
@@ -44,7 +44,7 @@ func (c *Ctx) IsolatedOn(locks []*Lock, fn func()) {
 			ordered[i].release()
 		}
 	}()
-	c.worker.rt.stats.Isolated.Add(1)
+	c.worker.stats.isolated.Add(1)
 	fn()
 }
 

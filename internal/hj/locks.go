@@ -76,10 +76,10 @@ func (l *Lock) Held() bool { return l.held.Load() }
 func (c *Ctx) TryLock(l *Lock) bool {
 	if l.tryAcquire() {
 		c.held = append(c.held, l)
-		c.worker.rt.stats.LockAcquires.Add(1)
+		c.worker.stats.lockAcquires.Add(1)
 		return true
 	}
-	c.worker.rt.stats.LockFailures.Add(1)
+	c.worker.stats.lockFailures.Add(1)
 	return false
 }
 

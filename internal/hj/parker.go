@@ -1,0 +1,85 @@
+package hj
+
+import "sync/atomic"
+
+// parker is a one-worker park/wake slot. A worker that finds no work
+// publishes itself as parked and blocks on its own channel; wakers claim
+// exactly one parked worker by winning the parked CAS and then send one
+// token. Compared to a global mutex/condvar, parking and waking touch
+// only the target worker's cache line plus one shared idle counter, and a
+// waker can target a specific worker by ID (locality wakeups).
+//
+// Protocol invariants:
+//
+//   - Only the owning worker stores parked=true (park prologue); anyone
+//     may CAS it true→false (wakers claiming, or the owner cancelling its
+//     own park).
+//   - A token is sent on ch only by a waker that won the claiming CAS,
+//     and every claim's token is consumed by the owner before it parks
+//     again, so the buffered-1 send never blocks and the channel is
+//     always empty at park time.
+//   - The park prologue is store(parked=true), then re-scan for work;
+//     pushers publish work, then load parked. Sequentially consistent
+//     atomics make this a Dekker handshake: either the parking worker
+//     sees the new work, or the pusher sees the parked worker and wakes
+//     it. No lost wakeups.
+type parker struct {
+	parked atomic.Bool
+	ch     chan struct{}
+}
+
+func newParker() parker { return parker{ch: make(chan struct{}, 1)} }
+
+// prepark publishes the worker as parked and bumps the runtime's idle
+// count. The caller must then re-check for visible work and either block
+// on p.ch or call cancelPark.
+func (w *worker) prepark() {
+	w.parker.parked.Store(true)
+	w.rt.idle.Add(1)
+}
+
+// cancelPark withdraws a prepark. If a waker already claimed this worker
+// (the CAS fails), its token is consumed so the channel is empty before
+// the next park; the waker has then also already re-decremented idle.
+func (w *worker) cancelPark() {
+	if w.parker.parked.CompareAndSwap(true, false) {
+		w.rt.idle.Add(-1)
+		return
+	}
+	<-w.parker.ch
+}
+
+// wakeWorker claims w if it is parked and wakes it. It reports whether
+// this call performed the wake.
+func (rt *Runtime) wakeWorker(w *worker) bool {
+	if w.parker.parked.CompareAndSwap(true, false) {
+		rt.idle.Add(-1)
+		w.parker.ch <- struct{}{}
+		return true
+	}
+	return false
+}
+
+// wakeOne wakes one parked worker, if any. The rotating start index
+// spreads wakeups across workers instead of hammering worker 0. The
+// idle-count fast path keeps the all-busy steady state down to a single
+// shared atomic load.
+func (rt *Runtime) wakeOne() {
+	if rt.idle.Load() == 0 {
+		return
+	}
+	n := len(rt.workers)
+	start := int(rt.wakeRR.Add(1))
+	for i := 0; i < n; i++ {
+		if rt.wakeWorker(rt.workers[(start+i)%n]) {
+			return
+		}
+	}
+}
+
+// wakeAll wakes every parked worker (shutdown, cancellation).
+func (rt *Runtime) wakeAll() {
+	for _, w := range rt.workers {
+		rt.wakeWorker(w)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package hj
+
+// raceEnabled reports whether the binary was built with -race. Tests that
+// pin allocation counts skip under the race detector, whose instrumentation
+// changes what allocates.
+const raceEnabled = false

@@ -7,7 +7,6 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
-	"time"
 )
 
 // Task is the body of an HJ async task. The Ctx argument identifies the
@@ -15,10 +14,23 @@ import (
 // Enclosing Finish (IEF); it must not be retained after the task returns.
 type Task func(ctx *Ctx)
 
+// IndexedTask is a task body taking a small integer argument. Spawning
+// with AsyncIdx/AsyncIdxOn lets a caller fan tasks out over an indexed
+// domain (the DES engine's circuit nodes) through one shared function
+// value instead of allocating a fresh closure per spawn.
+type IndexedTask func(ctx *Ctx, idx int32)
+
 // task is the internal spawned-task record: the body plus its IEF.
+// Records are recycled through per-worker free lists (see worker.newTask
+// / worker.recycle), so steady-state spawning allocates nothing; next is
+// the intrusive link used by both the free list and the worker mailboxes
+// (a task is never on both at once).
 type task struct {
-	fn  Task
-	fin *finishScope
+	fn   Task
+	ifn  IndexedTask
+	idx  int32
+	fin  *finishScope
+	next *task
 }
 
 // finishScope tracks the outstanding tasks of one dynamic finish instance.
@@ -54,10 +66,30 @@ type Config struct {
 	// StealTries is the number of random-victim rounds a worker attempts
 	// before parking. Zero means a default proportional to Workers.
 	StealTries int
+	// StealMax caps how many tasks one steal round may transfer (the
+	// stealHalf batch bound). Zero means defaultStealMax; 1 restores the
+	// classic one-task-per-round Chase–Lev steal (the ablation baseline).
+	StealMax int
 	// Seed seeds the per-worker victim selection. Zero means a fixed
 	// default so runs are reproducible.
 	Seed int64
 }
+
+// defaultStealMax bounds one stealHalf round. Half the victim's queue is
+// already the balancing ideal; the cap just keeps one round's latency (and
+// the thief's deque growth) bounded on very deep victim queues.
+const defaultStealMax = 16
+
+// taskFreeCap bounds each worker's task-record free list. Records are 6
+// words, so the cap costs at most ~48KB per worker while covering any
+// realistic in-flight task burst.
+const taskFreeCap = 1024
+
+// idleSpins is how many failed find-work rounds a worker tolerates
+// (yielding between them) before parking. Parking is cheap with
+// per-worker parkers, so the spin phase is short: it exists to catch the
+// common "a task arrives immediately" case without a park/wake round trip.
+const idleSpins = 4
 
 // Runtime is a work-stealing task scheduler: the Go analog of the HJlib
 // runtime. Create one with NewRuntime, submit work with Finish (which
@@ -67,11 +99,14 @@ type Runtime struct {
 	workers  []*worker
 	injector injectorQueue // tasks submitted from outside worker context
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	idle     int
-	idleHint atomic.Int32 // mirror of idle for lock-free reads by pushers
-	stopped  bool
+	idle    atomic.Int32  // number of workers currently published as parked
+	wakeRR  atomic.Uint32 // rotating wakeOne start index
+	stopped atomic.Bool
+
+	stealTries int
+	stealMax   int
+
+	extSpawns atomic.Int64 // root tasks submitted via Runtime.Finish
 
 	// Cancellation and panic containment: Cancel (or a contained task
 	// panic) closes cancelCh, sets canceledA, and wakes every worker.
@@ -83,8 +118,6 @@ type Runtime struct {
 	failure    atomic.Pointer[TaskPanic] // first contained task panic
 
 	globalIso sync.Mutex // backs the object-free Isolated construct
-
-	stats Stats
 }
 
 // TaskPanic is a panic recovered inside a worker: instead of crashing the
@@ -104,44 +137,80 @@ func (p *TaskPanic) Error() string {
 // contained panic.
 var ErrCanceled = fmt.Errorf("hj: runtime canceled")
 
-// injectorQueue is a small mutex-guarded FIFO for externally submitted
-// tasks. It is off the hot path: the DES application submits one root task
-// per simulation.
+// injectorQueue is a small mutex-guarded ring FIFO for externally
+// submitted tasks. It is off the hot path: the DES application submits
+// one root task per simulation. Popped slots are nil-ed so the queue
+// never retains completed task records (the old head-shift slice kept
+// every popped pointer alive in the backing array), and the atomic size
+// mirror lets the workers' find-work and park-recheck paths probe
+// emptiness without the mutex.
 type injectorQueue struct {
-	mu    sync.Mutex
-	tasks []*task
+	mu   sync.Mutex
+	buf  []*task
+	head int
+	n    int
+	size atomic.Int32
 }
 
 func (q *injectorQueue) push(t *task) {
 	q.mu.Lock()
-	q.tasks = append(q.tasks, t)
+	if q.n == len(q.buf) {
+		nb := make([]*task, max(16, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			nb[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf, q.head = nb, 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = t
+	q.n++
+	q.size.Store(int32(q.n))
 	q.mu.Unlock()
 }
 
 func (q *injectorQueue) pop() *task {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if len(q.tasks) == 0 {
+	if q.size.Load() == 0 {
 		return nil
 	}
-	t := q.tasks[0]
-	q.tasks = q.tasks[1:]
+	q.mu.Lock()
+	if q.n == 0 {
+		q.mu.Unlock()
+		return nil
+	}
+	t := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	q.size.Store(int32(q.n))
+	q.mu.Unlock()
 	return t
 }
 
-func (q *injectorQueue) empty() bool {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return len(q.tasks) == 0
-}
+func (q *injectorQueue) empty() bool { return q.size.Load() == 0 }
 
-// worker is one scheduling loop bound to a wsDeque.
+// worker is one scheduling loop bound to a wsDeque. The fields before the
+// pad are touched (almost) exclusively by the owning worker; the fields
+// after it — the mailbox head and the parker — are written by other
+// workers (submit-to-owner spawns, wakeups), so the pad keeps that
+// cross-worker traffic off the owner's hot cache lines.
 type worker struct {
-	id    int
-	rt    *Runtime
-	deque *wsDeque
-	rng   *rand.Rand
-	ctx   Ctx
+	id       int
+	rt       *Runtime
+	deque    *wsDeque
+	rng      *rand.Rand
+	ctx      Ctx
+	freeTask *task // intrusive free list of recycled task records
+	freeLen  int
+	stats    workerStats
+
+	_ [64]byte
+
+	// mailbox is an intrusive Treiber stack of tasks submitted to this
+	// worker by AsyncOn from other workers. Multi-producer (CAS push),
+	// single-consumer: only the owner pops, and only with a wholesale
+	// Swap(nil) — never a pop-one CAS — which is what makes the recycled
+	// task records ABA-safe.
+	mailbox atomic.Pointer[task]
+	parker  parker
 }
 
 // NewRuntime starts cfg.Workers worker goroutines and returns the runtime.
@@ -155,17 +224,21 @@ func NewRuntime(cfg Config) *Runtime {
 		seed = 0x5eed
 	}
 	rt := &Runtime{workers: make([]*worker, n), cancelCh: make(chan struct{})}
-	rt.cond = sync.NewCond(&rt.mu)
-	rt.stats.stealTries = cfg.StealTries
-	if rt.stats.stealTries <= 0 {
-		rt.stats.stealTries = 2 * n
+	rt.stealTries = cfg.StealTries
+	if rt.stealTries <= 0 {
+		rt.stealTries = 2 * n
+	}
+	rt.stealMax = cfg.StealMax
+	if rt.stealMax <= 0 {
+		rt.stealMax = defaultStealMax
 	}
 	for i := 0; i < n; i++ {
 		w := &worker{
-			id:    i,
-			rt:    rt,
-			deque: newWSDeque(),
-			rng:   rand.New(rand.NewSource(seed + int64(i)*1664525 + 1013904223)),
+			id:     i,
+			rt:     rt,
+			deque:  newWSDeque(),
+			rng:    rand.New(rand.NewSource(seed + int64(i)*1664525 + 1013904223)),
+			parker: newParker(),
 		}
 		w.ctx.worker = w
 		rt.workers[i] = w
@@ -191,7 +264,7 @@ func (rt *Runtime) Finish(body Task) {
 	fin := newFinishScope()
 	t := &task{fin: fin, fn: body}
 	rt.injector.push(t)
-	rt.stats.Spawns.Add(1)
+	rt.extSpawns.Add(1)
 	rt.wakeOne()
 	select {
 	case <-fin.done:
@@ -209,10 +282,8 @@ func (rt *Runtime) Finish(body Task) {
 func (rt *Runtime) Cancel() {
 	rt.cancelOnce.Do(func() {
 		rt.canceledA.Store(true)
-		rt.mu.Lock()
 		close(rt.cancelCh)
-		rt.cond.Broadcast()
-		rt.mu.Unlock()
+		rt.wakeAll()
 	})
 }
 
@@ -233,85 +304,116 @@ func (rt *Runtime) Err() error {
 // should only invoke it after their final Finish has returned. A Runtime
 // cannot be restarted.
 func (rt *Runtime) Shutdown() {
-	rt.mu.Lock()
-	rt.stopped = true
-	rt.cond.Broadcast()
-	rt.mu.Unlock()
+	rt.stopped.Store(true)
+	rt.wakeAll()
 }
 
-// Stats returns a snapshot of scheduler counters.
-func (rt *Runtime) Stats() StatsSnapshot { return rt.stats.snapshot() }
+// dead reports whether the runtime has been shut down or canceled.
+func (rt *Runtime) dead() bool { return rt.stopped.Load() || rt.canceledA.Load() }
 
-// wakeOne nudges a parked worker if any are idle.
-func (rt *Runtime) wakeOne() {
-	if rt.idleHint.Load() == 0 {
-		return
-	}
-	rt.mu.Lock()
-	rt.cond.Signal()
-	rt.mu.Unlock()
-}
-
-// anyWorkVisible reports whether any deque or the injector appears
-// non-empty. It is used under rt.mu as the final check before parking, so
-// a task pushed before the check is never missed.
-func (rt *Runtime) anyWorkVisible() bool {
+// workVisibleTo reports whether any work w could run appears to exist:
+// the injector, w's own mailbox, or any deque (stealable). Other workers'
+// mailboxes are excluded — only their owners can drain them, and the
+// submitting side wakes the owner directly. Used between prepark and
+// blocking, so a task published before the check is never missed (see the
+// parker protocol comment).
+func (rt *Runtime) workVisibleTo(w *worker) bool {
 	if !rt.injector.empty() {
 		return true
 	}
-	for _, w := range rt.workers {
-		if w.deque.sizeHint() > 0 {
+	if w.mailbox.Load() != nil {
+		return true
+	}
+	for _, v := range rt.workers {
+		if v.deque.sizeHint() > 0 {
 			return true
 		}
 	}
 	return false
 }
 
+// newTask returns a task record from the worker's free list, or a fresh
+// allocation when the list is empty. Only the owning worker calls it.
+func (w *worker) newTask(fn Task, fin *finishScope) *task {
+	t := w.takeFree()
+	t.fn, t.fin = fn, fin
+	return t
+}
+
+func (w *worker) newIdxTask(fn IndexedTask, idx int32, fin *finishScope) *task {
+	t := w.takeFree()
+	t.ifn, t.idx, t.fin = fn, idx, fin
+	return t
+}
+
+func (w *worker) takeFree() *task {
+	if t := w.freeTask; t != nil {
+		w.freeTask = t.next
+		w.freeLen--
+		t.next = nil
+		return t
+	}
+	return new(task)
+}
+
+// recycle returns an executed task record to the worker's free list. The
+// record must be unreachable from every queue (it has been executed).
+// Whichever worker executed the task recycles it, so a record spawned on
+// one worker and stolen by another simply migrates between free lists.
+func (w *worker) recycle(t *task) {
+	t.fn, t.ifn, t.fin = nil, nil, nil
+	if w.freeLen >= taskFreeCap {
+		t.next = nil
+		return
+	}
+	t.next = w.freeTask
+	w.freeTask = t
+	w.freeLen++
+}
+
 // run is the top-level worker loop: execute local work, steal, park.
 // Cancellation (external or after a contained panic) is checked at the
-// steal/park points: before taking new work and before/after waiting.
+// find-work/park points: before taking new work and around waiting.
 func (w *worker) run() {
 	rt := w.rt
+	spins := 0
 	for {
 		if rt.canceledA.Load() {
 			return
 		}
-		t := w.findWork()
-		if t != nil {
+		if t := w.findWork(); t != nil {
 			w.execute(t)
+			spins = 0
 			continue
 		}
-		// Park. Re-check for work under the lock so a concurrent Async
-		// cannot slip between our last scan and the wait.
-		rt.mu.Lock()
-		if rt.stopped || rt.canceledA.Load() {
-			rt.mu.Unlock()
-			return
-		}
-		if rt.anyWorkVisible() {
-			rt.mu.Unlock()
+		if spins++; spins < idleSpins {
+			runtime.Gosched()
 			continue
 		}
-		rt.idle++
-		rt.idleHint.Store(int32(rt.idle))
-		rt.stats.Parks.Add(1)
-		for !rt.stopped && !rt.canceledA.Load() && !rt.anyWorkVisible() {
-			rt.cond.Wait()
+		spins = 0
+		// Park. prepark publishes parked=true before the work re-scan, so
+		// a task pushed concurrently is either seen here or its pusher
+		// sees us parked and wakes us.
+		w.prepark()
+		if rt.dead() || rt.workVisibleTo(w) {
+			w.cancelPark()
+			if rt.dead() {
+				return
+			}
+			continue
 		}
-		rt.idle--
-		rt.idleHint.Store(int32(rt.idle))
-		dead := rt.stopped || rt.canceledA.Load()
-		rt.mu.Unlock()
-		if dead {
-			return
-		}
+		w.stats.parks.Add(1)
+		<-w.parker.ch
 	}
 }
 
 // findWork returns the next task: own deque first (LIFO), then the
-// injector, then random-victim stealing.
+// mailbox, then the injector, then random-victim batch stealing.
 func (w *worker) findWork() *task {
 	if t := w.deque.popBottom(); t != nil {
+		return t
+	}
+	if t := w.drainMailbox(); t != nil {
 		return t
 	}
 	if t := w.rt.injector.pop(); t != nil {
@@ -321,14 +423,20 @@ func (w *worker) findWork() *task {
 	if n == 1 {
 		return nil
 	}
-	for attempt := 0; attempt < w.rt.stats.stealTries; attempt++ {
+	for attempt := 0; attempt < w.rt.stealTries; attempt++ {
 		victim := w.rt.workers[w.rng.Intn(n)]
 		if victim == w {
 			continue
 		}
-		t, retry := victim.deque.steal()
+		t, taken, retry := victim.deque.stealHalf(w.deque, w.rt.stealMax)
 		if t != nil {
-			w.rt.stats.Steals.Add(1)
+			w.stats.steals.Add(1)
+			w.stats.stolenTasks.Add(int64(taken))
+			if taken > 1 {
+				// The surplus sits in our deque now; offer it to another
+				// thief instead of letting it wait for us.
+				w.rt.wakeOne()
+			}
 			return t
 		}
 		if retry {
@@ -336,6 +444,28 @@ func (w *worker) findWork() *task {
 		}
 	}
 	return nil
+}
+
+// drainMailbox takes the whole submitted-task chain at once, returns one
+// task to run and pushes the rest onto the worker's own deque, where they
+// are stealable like any local spawn.
+func (w *worker) drainMailbox() *task {
+	head := w.mailbox.Swap(nil)
+	if head == nil {
+		return nil
+	}
+	next := head.next
+	head.next = nil
+	if next != nil {
+		for t := next; t != nil; {
+			nx := t.next
+			t.next = nil
+			w.deque.pushBottom(t)
+			t = nx
+		}
+		w.rt.wakeOne()
+	}
+	return head
 }
 
 // execute runs one task with the worker's Ctx bound to the task's IEF.
@@ -351,12 +481,14 @@ func (w *worker) execute(t *task) {
 	// task that returns (or panics) while holding locks would poison the
 	// whole simulation, so leaked locks are released here and counted.
 	if leaked := len(w.ctx.held) - w.ctx.heldBase; leaked > 0 {
-		w.rt.stats.LeakedLocks.Add(int64(leaked))
+		w.stats.leakedLocks.Add(int64(leaked))
 		w.ctx.ReleaseAllLocks()
 	}
 	w.ctx.fin = prevFin
 	w.ctx.heldBase = prevBase
-	t.fin.complete()
+	fin := t.fin
+	w.recycle(t)
+	fin.complete()
 }
 
 // runContained executes the task body, converting a panic into a recorded
@@ -370,15 +502,23 @@ func (w *worker) runContained(t *task) {
 			w.rt.Cancel()
 		}
 	}()
+	if t.ifn != nil {
+		t.ifn(&w.ctx, t.idx)
+		return
+	}
 	t.fn(&w.ctx)
 }
 
-// helpUntil runs tasks (or yields) until the scope completes. It is the
-// help-first join used when a worker blocks at the end of a nested Finish.
+// helpUntil runs tasks until the scope completes. It is the help-first
+// join used when a worker blocks at the end of a nested Finish. Idling
+// follows the same spin-then-park policy as the main loop (the parked
+// worker is wakeable by any pusher), with the scope's own completion as
+// an additional wake source.
 func (w *worker) helpUntil(fin *finishScope) {
+	rt := w.rt
 	spins := 0
 	for !fin.finished() {
-		if w.rt.canceledA.Load() {
+		if rt.canceledA.Load() {
 			return
 		}
 		if t := w.findWork(); t != nil {
@@ -386,11 +526,22 @@ func (w *worker) helpUntil(fin *finishScope) {
 			spins = 0
 			continue
 		}
-		spins++
-		if spins < 8 {
+		if spins++; spins < idleSpins {
 			runtime.Gosched()
-		} else {
-			time.Sleep(5 * time.Microsecond)
+			continue
+		}
+		spins = 0
+		w.prepark()
+		if fin.finished() || rt.dead() || rt.workVisibleTo(w) {
+			w.cancelPark()
+			continue
+		}
+		w.stats.helpParks.Add(1)
+		select {
+		case <-w.parker.ch:
+			// Claimed and woken by a pusher; loop and look for its work.
+		case <-fin.done:
+			w.cancelPark()
 		}
 	}
 }
@@ -418,9 +569,63 @@ func (c *Ctx) Runtime() *Runtime { return c.worker.rt }
 // remainder of the caller.
 func (c *Ctx) Async(fn Task) {
 	c.fin.register()
-	c.worker.deque.pushBottom(&task{fn: fn, fin: c.fin})
-	c.worker.rt.stats.Spawns.Add(1)
-	c.worker.rt.wakeOne()
+	w := c.worker
+	w.deque.pushBottom(w.newTask(fn, c.fin))
+	w.stats.spawns.Add(1)
+	w.rt.wakeOne()
+}
+
+// AsyncIdx is Async for an IndexedTask: fn is a shared function value and
+// idx travels in the task record, so spawning allocates no closure.
+func (c *Ctx) AsyncIdx(fn IndexedTask, idx int32) {
+	c.fin.register()
+	w := c.worker
+	w.deque.pushBottom(w.newIdxTask(fn, idx, c.fin))
+	w.stats.spawns.Add(1)
+	w.rt.wakeOne()
+}
+
+// AsyncOn spawns fn as a child of the current IEF on a specific worker:
+// the task is posted to that worker's mailbox (and the worker woken if
+// parked) instead of the caller's deque. It is the locality-aware submit
+// path — a caller that knows which worker owns a task's data sends the
+// task to its owner rather than forcing a steal. Posting to the calling
+// worker degenerates to Async. worker must be in [0, NumWorkers).
+func (c *Ctx) AsyncOn(worker int, fn Task) {
+	c.asyncOn(worker, c.worker.newTask(fn, c.fin))
+}
+
+// AsyncIdxOn combines AsyncOn's submit-to-owner routing with AsyncIdx's
+// closure-free indexed spawn.
+func (c *Ctx) AsyncIdxOn(worker int, fn IndexedTask, idx int32) {
+	c.asyncOn(worker, c.worker.newIdxTask(fn, idx, c.fin))
+}
+
+func (c *Ctx) asyncOn(target int, t *task) {
+	w := c.worker
+	rt := w.rt
+	if target < 0 || target >= len(rt.workers) {
+		panic(fmt.Sprintf("hj: AsyncOn worker %d out of range [0,%d)", target, len(rt.workers)))
+	}
+	t.fin.register()
+	w.stats.spawns.Add(1)
+	tw := rt.workers[target]
+	if tw == w {
+		w.deque.pushBottom(t)
+		rt.wakeOne()
+		return
+	}
+	for {
+		old := tw.mailbox.Load()
+		t.next = old
+		if tw.mailbox.CompareAndSwap(old, t) {
+			break
+		}
+	}
+	w.stats.remoteSpawns.Add(1)
+	// Wake the owner if it is parked; if it is busy it will drain the
+	// mailbox on its next find-work round.
+	rt.wakeWorker(tw)
 }
 
 // Finish runs body inline under a fresh nested finish scope and blocks

@@ -5,41 +5,59 @@ import (
 	"sync/atomic"
 )
 
-// Stats holds the runtime's live scheduler counters. All fields are
-// updated atomically on hot paths; read them through Runtime.Stats.
-type Stats struct {
-	Spawns       atomic.Int64 // tasks created via Async/Finish
-	Steals       atomic.Int64 // successful steals
-	Parks        atomic.Int64 // times a worker parked for lack of work
-	Isolated     atomic.Int64 // isolated sections entered
-	LockAcquires atomic.Int64 // successful TryLock calls
-	LockFailures atomic.Int64 // failed TryLock calls
-	LeakedLocks  atomic.Int64 // locks auto-released at task exit
-
-	stealTries int // configuration, not a counter
+// workerStats is one worker's scheduler counters. Every field is written
+// by exactly one goroutine — the owning worker (a thief that executes a
+// stolen task counts it on its own line) — so the atomics are always
+// uncontended; they exist only so Runtime.Stats and the stall watchdog
+// can read a consistent value mid-run. Each worker embeds its own copy
+// behind cache-line padding, so the spawn/steal/park hot paths never
+// write a cache line shared with another worker (the old Runtime-global
+// Stats struct serialized every Async on one line).
+type workerStats struct {
+	spawns       atomic.Int64 // tasks created via Async/AsyncOn by this worker
+	remoteSpawns atomic.Int64 // AsyncOn submissions posted to another worker's mailbox
+	steals       atomic.Int64 // successful steal rounds by this worker
+	stolenTasks  atomic.Int64 // tasks obtained by stealing (≥ steals with stealHalf)
+	parks        atomic.Int64 // times this worker parked in the main loop
+	helpParks    atomic.Int64 // times this worker parked inside a nested Finish join
+	isolated     atomic.Int64 // isolated sections entered
+	lockAcquires atomic.Int64 // successful TryLock calls
+	lockFailures atomic.Int64 // failed TryLock calls
+	leakedLocks  atomic.Int64 // locks auto-released at task exit
 }
 
-// StatsSnapshot is a point-in-time copy of the scheduler counters.
+// StatsSnapshot is a point-in-time aggregate of the per-worker scheduler
+// counters (plus the external-submission spawn count).
 type StatsSnapshot struct {
-	Spawns       int64
-	Steals       int64
-	Parks        int64
-	Isolated     int64
-	LockAcquires int64
-	LockFailures int64
-	LeakedLocks  int64
+	Spawns       int64 // tasks created via Async/AsyncOn/Finish
+	RemoteSpawns int64 // of Spawns: posted to another worker's mailbox (AsyncOn)
+	Steals       int64 // successful steal rounds
+	StolenTasks  int64 // tasks transferred by stealing (≥ Steals with stealHalf)
+	Parks        int64 // main-loop parks for lack of work
+	HelpParks    int64 // nested-Finish join parks (helpUntil)
+	Isolated     int64 // isolated sections entered
+	LockAcquires int64 // successful TryLock calls
+	LockFailures int64 // failed TryLock calls
+	LeakedLocks  int64 // locks auto-released at task exit
 }
 
-func (s *Stats) snapshot() StatsSnapshot {
-	return StatsSnapshot{
-		Spawns:       s.Spawns.Load(),
-		Steals:       s.Steals.Load(),
-		Parks:        s.Parks.Load(),
-		Isolated:     s.Isolated.Load(),
-		LockAcquires: s.LockAcquires.Load(),
-		LockFailures: s.LockFailures.Load(),
-		LeakedLocks:  s.LeakedLocks.Load(),
+// Stats returns a snapshot of the scheduler counters, aggregated across
+// workers. Safe to call concurrently with a run (the watchdog does).
+func (rt *Runtime) Stats() StatsSnapshot {
+	s := StatsSnapshot{Spawns: rt.extSpawns.Load()}
+	for _, w := range rt.workers {
+		s.Spawns += w.stats.spawns.Load()
+		s.RemoteSpawns += w.stats.remoteSpawns.Load()
+		s.Steals += w.stats.steals.Load()
+		s.StolenTasks += w.stats.stolenTasks.Load()
+		s.Parks += w.stats.parks.Load()
+		s.HelpParks += w.stats.helpParks.Load()
+		s.Isolated += w.stats.isolated.Load()
+		s.LockAcquires += w.stats.lockAcquires.Load()
+		s.LockFailures += w.stats.lockFailures.Load()
+		s.LeakedLocks += w.stats.leakedLocks.Load()
 	}
+	return s
 }
 
 // LockSuccessRate returns the fraction of TryLock calls that succeeded,
@@ -54,8 +72,8 @@ func (s StatsSnapshot) LockSuccessRate() float64 {
 
 // String summarizes the snapshot on one line.
 func (s StatsSnapshot) String() string {
-	return fmt.Sprintf("spawns=%d steals=%d parks=%d isolated=%d locks(ok=%d fail=%d leak=%d rate=%.3f)",
-		s.Spawns, s.Steals, s.Parks, s.Isolated,
+	return fmt.Sprintf("spawns=%d (remote=%d) steals=%d (stolen=%d) parks=%d helpparks=%d isolated=%d locks(ok=%d fail=%d leak=%d rate=%.3f)",
+		s.Spawns, s.RemoteSpawns, s.Steals, s.StolenTasks, s.Parks, s.HelpParks, s.Isolated,
 		s.LockAcquires, s.LockFailures, s.LeakedLocks, s.LockSuccessRate())
 }
 
@@ -63,8 +81,11 @@ func (s StatsSnapshot) String() string {
 func (s StatsSnapshot) Sub(prev StatsSnapshot) StatsSnapshot {
 	return StatsSnapshot{
 		Spawns:       s.Spawns - prev.Spawns,
+		RemoteSpawns: s.RemoteSpawns - prev.RemoteSpawns,
 		Steals:       s.Steals - prev.Steals,
+		StolenTasks:  s.StolenTasks - prev.StolenTasks,
 		Parks:        s.Parks - prev.Parks,
+		HelpParks:    s.HelpParks - prev.HelpParks,
 		Isolated:     s.Isolated - prev.Isolated,
 		LockAcquires: s.LockAcquires - prev.LockAcquires,
 		LockFailures: s.LockFailures - prev.LockFailures,

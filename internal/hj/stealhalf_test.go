@@ -1,0 +1,226 @@
+package hj
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestStealHalfEmpty(t *testing.T) {
+	d, dst := newWSDeque(), newWSDeque()
+	first, taken, retry := d.stealHalf(dst, defaultStealMax)
+	if first != nil || taken != 0 || retry {
+		t.Fatalf("stealHalf on empty = (%v, %d, %v), want (nil, 0, false)", first, taken, retry)
+	}
+}
+
+func TestStealHalfOneElement(t *testing.T) {
+	d, dst := newWSDeque(), newWSDeque()
+	tk := &task{}
+	d.pushBottom(tk)
+	first, taken, retry := d.stealHalf(dst, defaultStealMax)
+	if first != tk || taken != 1 || retry {
+		t.Fatalf("stealHalf on one element = (%v, %d, %v), want (task, 1, false)", first, taken, retry)
+	}
+	if d.sizeHint() != 0 || dst.sizeHint() != 0 {
+		t.Fatal("one-element steal should leave both deques empty")
+	}
+}
+
+func TestStealHalfTakesHalfRoundedUp(t *testing.T) {
+	for _, n := range []int{2, 3, 9, 10, 31} {
+		d, dst := newWSDeque(), newWSDeque()
+		tasks := make([]*task, n)
+		for i := range tasks {
+			tasks[i] = &task{}
+			d.pushBottom(tasks[i])
+		}
+		first, taken, _ := d.stealHalf(dst, defaultStealMax)
+		want := (n + 1) / 2
+		if want > defaultStealMax {
+			want = defaultStealMax
+		}
+		if taken != want {
+			t.Fatalf("n=%d: taken = %d, want %d", n, taken, want)
+		}
+		if first != tasks[0] {
+			t.Fatalf("n=%d: first stolen task is not the oldest", n)
+		}
+		// The rest went to dst (order unspecified); victim keeps n-taken.
+		if got := int(dst.sizeHint()); got != taken-1 {
+			t.Fatalf("n=%d: dst holds %d, want %d", n, got, taken-1)
+		}
+		if got := int(d.sizeHint()); got != n-taken {
+			t.Fatalf("n=%d: victim holds %d, want %d", n, got, n-taken)
+		}
+	}
+}
+
+func TestStealHalfRespectsMax(t *testing.T) {
+	d, dst := newWSDeque(), newWSDeque()
+	for i := 0; i < 100; i++ {
+		d.pushBottom(&task{})
+	}
+	_, taken, _ := d.stealHalf(dst, 4)
+	if taken != 4 {
+		t.Fatalf("taken = %d, want max 4", taken)
+	}
+	_, taken, _ = d.stealHalf(dst, 1) // single-steal ablation mode
+	if taken != 1 {
+		t.Fatalf("taken = %d, want 1 with max 1", taken)
+	}
+}
+
+// TestStealHalfWraparound exercises stealing across the ring boundary of
+// the backing array: after the indices have advanced past the initial
+// array size, slots are reused modulo the mask.
+func TestStealHalfWraparound(t *testing.T) {
+	d, dst := newWSDeque(), newWSDeque()
+	size := 1 << initialDequeLogSize
+	// Advance top and bottom by 3/4 of the array without growing.
+	for i := 0; i < size*3/4; i++ {
+		d.pushBottom(&task{})
+		if tk, _ := d.steal(); tk == nil {
+			t.Fatal("unexpected empty steal during advance")
+		}
+	}
+	// Now fill half the array: it straddles the wrap point.
+	tasks := make([]*task, size/2)
+	seen := make(map[*task]bool, len(tasks))
+	for i := range tasks {
+		tasks[i] = &task{}
+		seen[tasks[i]] = false
+		d.pushBottom(tasks[i])
+	}
+	got := 0
+	for d.sizeHint() > 0 {
+		first, taken, _ := d.stealHalf(dst, defaultStealMax)
+		if first == nil {
+			t.Fatal("stealHalf returned nil with tasks remaining")
+		}
+		record := func(tk *task) {
+			was, ok := seen[tk]
+			if !ok || was {
+				t.Fatalf("task %p stolen twice or unknown", tk)
+			}
+			seen[tk] = true
+			got++
+		}
+		record(first)
+		for {
+			tk := dst.popBottom()
+			if tk == nil {
+				break
+			}
+			record(tk)
+		}
+		_ = taken
+	}
+	if got != len(tasks) {
+		t.Fatalf("recovered %d tasks, want %d", got, len(tasks))
+	}
+}
+
+// TestStealHalfConcurrentExactlyOnce is the linearizability stress test:
+// one owner interleaving pushBottom/popBottom against 4×GOMAXPROCS
+// thieves — half using batched stealHalf, half the classic single steal —
+// with every task delivered exactly once. Run under -race this also
+// checks the memory ordering of the per-element claims.
+func TestStealHalfConcurrentExactlyOnce(t *testing.T) {
+	const total = 200000
+	thieves := 4 * runtime.GOMAXPROCS(0)
+	d := newWSDeque()
+	tasks := make([]task, total)
+	index := make(map[*task]int, total)
+	for i := range tasks {
+		index[&tasks[i]] = i
+	}
+	delivered := make([]atomic.Int32, total)
+	var count atomic.Int64
+
+	record := func(tk *task) {
+		if tk == nil {
+			return
+		}
+		idx := index[tk] // read-only map access; safe concurrently
+		if delivered[idx].Add(1) != 1 {
+			t.Errorf("task %d delivered more than once", idx)
+		}
+		count.Add(1)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		batch := i%2 == 0
+		go func() {
+			defer wg.Done()
+			dst := newWSDeque() // each thief owns a private destination deque
+			drainDst := func() {
+				for {
+					tk := dst.popBottom()
+					if tk == nil {
+						return
+					}
+					record(tk)
+				}
+			}
+			stealOnce := func() (tk *task, retry bool) {
+				if batch {
+					first, _, r := d.stealHalf(dst, defaultStealMax)
+					return first, r
+				}
+				return d.steal()
+			}
+			for {
+				tk, _ := stealOnce()
+				if tk != nil {
+					record(tk)
+					drainDst()
+					continue
+				}
+				select {
+				case <-stop:
+					for {
+						tk, retry := stealOnce()
+						if tk != nil {
+							record(tk)
+							drainDst()
+						} else if !retry {
+							return
+						}
+					}
+				default:
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < total; i++ {
+		d.pushBottom(&tasks[i])
+		if i%3 == 0 {
+			record(d.popBottom())
+		}
+	}
+	for {
+		tk := d.popBottom()
+		if tk == nil {
+			break
+		}
+		record(tk)
+	}
+	close(stop)
+	wg.Wait()
+	for {
+		tk := d.popBottom()
+		if tk == nil {
+			break
+		}
+		record(tk)
+	}
+	if count.Load() != total {
+		t.Fatalf("delivered %d tasks, want %d", count.Load(), total)
+	}
+}
