@@ -22,6 +22,7 @@ import (
 	"hjdes/internal/circuit"
 	"hjdes/internal/core"
 	"hjdes/internal/cspec"
+	"hjdes/internal/obs"
 	"hjdes/internal/trace"
 )
 
@@ -41,6 +42,8 @@ var (
 	stallFlag   = flag.Duration("stall", 0, "fail the run if the engine makes no progress for this long (0 = no watchdog)")
 	chaosFlag   = flag.String("chaos", "", "lp: fault-injection spec, e.g. seed=7,delay=0.3,dup=0.2,kill=0.1 (fields: seed delay dup kill maxkills maxheld dropnulls)")
 	inboxFlag   = flag.Int("inbox-cap", 0, "lp: per-LP inbox capacity (0 = default)")
+	traceFlag   = flag.String("trace-out", "", "record a flight-recorder trace and write it as Chrome trace_event JSON (load in Perfetto or chrome://tracing)")
+	metricsFlag = flag.Bool("metrics", false, "print the run's uniform metrics map (all engine counters, dot-namespaced)")
 	// Ablation toggles (HJ engine).
 	pqFlag       = flag.Bool("pernode-pq", false, "hj: per-node priority queue instead of per-port deques")
 	nodeLockFlag = flag.Bool("pernode-locks", false, "hj: per-node locks instead of per-port locks")
@@ -56,6 +59,13 @@ func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "dessim: "+format+"\n", args...)
 	os.Exit(1)
 }
+
+// Run-scoped instrumentation, package-level so the failure path
+// (dieSupervised) can report fault counts and dump the trace.
+var (
+	recorder *obs.Recorder
+	injector *chaos.Injector
+)
 
 func main() {
 	flag.Parse()
@@ -78,6 +88,10 @@ func main() {
 		LPInboxCap:     *inboxFlag,
 		DiscardOutputs: !*verifyFlag && *vcdFlag == "",
 	}
+	if *traceFlag != "" {
+		recorder = obs.NewRecorder(0)
+		opts.Trace = recorder
+	}
 	var eng core.Engine
 	if *chaosFlag != "" {
 		if *engineFlag != "lp" {
@@ -87,7 +101,8 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		eng = core.NewLPIntercepted(opts, chaos.New(ccfg).Factory())
+		injector = chaos.New(ccfg)
+		eng = core.NewLPIntercepted(opts, injector.Factory())
 	} else {
 		var err error
 		eng, err = core.NewEngine(*engineFlag, opts)
@@ -119,8 +134,10 @@ func main() {
 		}
 		fmt.Printf("%v\nverify: OK (%d waves checked against the oracle)\n", res, len(waves))
 		printStats(res)
+		printMetrics(res)
 		printHotspots(c, res)
 		writeVCD(res)
+		writeTrace()
 		return
 	}
 	stim := circuit.RandomStimulus(c, *wavesFlag, period, *seedFlag)
@@ -130,8 +147,10 @@ func main() {
 	}
 	fmt.Printf("initial events: %d\n%v\n", stim.NumEvents(), res)
 	printStats(res)
+	printMetrics(res)
 	printHotspots(c, res)
 	writeVCD(res)
+	writeTrace()
 }
 
 // dieSupervised reports a failed supervised run. Structured engine
@@ -145,9 +164,13 @@ func dieSupervised(err error) {
 		if ee.Diag != "" {
 			fmt.Fprintf(os.Stderr, "--- engine diagnostics ---\n%s", ee.Diag)
 		}
+		if injector != nil {
+			fmt.Fprintf(os.Stderr, "--- injected faults ---\n%v\n", &injector.Stats)
+		}
 		if ee.Reason == core.FailPanic && len(ee.Stack) > 0 {
 			fmt.Fprintf(os.Stderr, "--- panic stack ---\n%s", ee.Stack)
 		}
+		writeTrace() // the trace of a failed run is the one worth keeping
 		os.Exit(2)
 	}
 	fatalf("%v", err)
@@ -190,6 +213,39 @@ func writeVCD(res *core.Result) {
 		fatalf("write vcd: %v", err)
 	}
 	fmt.Printf("waveforms: %s\n", *vcdFlag)
+}
+
+// writeTrace drains the flight recorder into the -trace-out file as Chrome
+// trace_event JSON. Called on success and on supervised failure.
+func writeTrace() {
+	if recorder == nil {
+		return
+	}
+	f, err := os.Create(*traceFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	if err := obs.WriteChromeTrace(f, recorder.Events()); err != nil {
+		fatalf("write trace: %v", err)
+	}
+	fmt.Printf("trace: %s\n", *traceFlag)
+}
+
+// printMetrics dumps the run's uniform metrics map (plus chaos fault
+// counts when an injector is installed) when -metrics is set.
+func printMetrics(res *core.Result) {
+	if injector != nil && res.Metrics != nil {
+		res.Metrics.Merge(injector.Stats.Metrics())
+	}
+	if !*metricsFlag {
+		return
+	}
+	m := res.Metrics
+	fmt.Println("metrics:")
+	for _, k := range m.Keys() {
+		fmt.Printf("  %s=%d\n", k, m[k])
+	}
 }
 
 func printStats(res *core.Result) {

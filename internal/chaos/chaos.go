@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 
 	"hjdes/internal/lp"
+	"hjdes/internal/obs"
 )
 
 // Config tunes the injector. The zero value injects nothing.
@@ -66,6 +67,18 @@ type Stats struct {
 func (s *Stats) String() string {
 	return fmt.Sprintf("held=%d released=%d duped-nulls=%d dropped-nulls=%d kills=%d",
 		s.Held.Load(), s.Released.Load(), s.DupedNulls.Load(), s.DroppedNulls.Load(), s.Kills.Load())
+}
+
+// Metrics returns the fault counts as a flat metrics map under the
+// "chaos." namespace. Safe to call concurrently with a run.
+func (s *Stats) Metrics() obs.Metrics {
+	return obs.Metrics{
+		"chaos.held":          s.Held.Load(),
+		"chaos.released":      s.Released.Load(),
+		"chaos.duped_nulls":   s.DupedNulls.Load(),
+		"chaos.dropped_nulls": s.DroppedNulls.Load(),
+		"chaos.kills":         s.Kills.Load(),
+	}
 }
 
 // Injector builds per-LP interceptors sharing one Config and Stats.

@@ -152,14 +152,16 @@ flood:
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Result{
+	res := &Result{
 		Engine:      "actor",
 		Workers:     workers,
 		TotalEvents: s.totalEvents(),
 		NodeEvents:  s.nodeEvents(),
 		Elapsed:     time.Since(start),
 		Outputs:     s.outputs(),
-	}, nil
+	}
+	res.FillMetrics(e.opts)
+	return res, nil
 }
 
 // runActor is one node's message loop: absorb mailbox messages, process

@@ -59,6 +59,7 @@ func (e *galoisEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result,
 	}
 	record := !e.opts.DiscardOutputs
 	rt := galois.New(e.opts.workers())
+	rt.SetTrace(e.opts.Trace)
 	before := rt.Stats()
 
 	initial := make([]int32, len(c.Inputs))
@@ -125,7 +126,7 @@ func (e *galoisEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result,
 		return nil, fmt.Errorf("core: galois simulation ended with node %d not terminated", bad)
 	}
 	s.release()
-	return &Result{
+	res := &Result{
 		Engine:      e.Name(),
 		Workers:     rt.NumWorkers(),
 		TotalEvents: s.totalEvents(),
@@ -133,7 +134,9 @@ func (e *galoisEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result,
 		Elapsed:     time.Since(start),
 		Outputs:     s.outputs(),
 		Galois:      statsDelta(rt.Stats(), before),
-	}, nil
+	}
+	res.FillMetrics(e.opts)
+	return res, nil
 }
 
 func statsDelta(now, before galois.StatsSnapshot) galois.StatsSnapshot {

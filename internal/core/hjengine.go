@@ -9,6 +9,7 @@ import (
 
 	"hjdes/internal/circuit"
 	"hjdes/internal/hj"
+	"hjdes/internal/obs"
 	"hjdes/internal/partition"
 )
 
@@ -75,6 +76,10 @@ func NewHJ(opts Options) Engine {
 
 func (e *hjEngine) Name() string { return e.name }
 
+// TraceRecorder exposes the run's flight recorder (nil when tracing is
+// off) for supervision failure dumps.
+func (e *hjEngine) TraceRecorder() *obs.Recorder { return e.opts.Trace }
+
 // Progress exposes the scheduler's spawn counter as the stall watchdog's
 // activity signal: a live simulation keeps spawning node tasks.
 func (e *hjEngine) Progress() uint64 {
@@ -139,7 +144,7 @@ func (e *hjEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.St
 	r.body = r.runNodeIdx
 	r.buildPlans()
 
-	cfg := hj.Config{Workers: e.opts.workers()}
+	cfg := hj.Config{Workers: e.opts.workers(), Trace: e.opts.Trace}
 	if e.opts.SingleSteal {
 		cfg.StealMax = 1
 	}
@@ -202,7 +207,7 @@ func (e *hjEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.St
 	// Clean completion: every task has run to completion inside Finish,
 	// so nothing can touch the event rings anymore.
 	s.release()
-	return &Result{
+	res := &Result{
 		Engine:      e.name,
 		Workers:     rt.NumWorkers(),
 		TotalEvents: s.totalEvents(),
@@ -210,7 +215,9 @@ func (e *hjEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.St
 		Elapsed:     time.Since(start),
 		Outputs:     s.outputs(),
 		HJ:          rt.Stats().Sub(before),
-	}, nil
+	}
+	res.FillMetrics(e.opts)
+	return res, nil
 }
 
 // buildPlans computes every node's ordered lock set and wake list. It is

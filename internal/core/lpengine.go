@@ -9,6 +9,7 @@ import (
 
 	"hjdes/internal/circuit"
 	"hjdes/internal/lp"
+	"hjdes/internal/obs"
 	"hjdes/internal/partition"
 )
 
@@ -51,6 +52,10 @@ func (e *lpEngine) Progress() uint64 { return e.probe.Progress() }
 // of the most recent run.
 func (e *lpEngine) Diagnose() string { return e.probe.Snapshot() }
 
+// TraceRecorder exposes the run's flight recorder (nil when tracing is
+// off) so supervision failure dumps include the per-LP event tail.
+func (e *lpEngine) TraceRecorder() *obs.Recorder { return e.opts.Trace }
+
 // partitions resolves the LP count: Partitions, else Workers, else
 // GOMAXPROCS.
 func (e *lpEngine) partitions() int {
@@ -86,6 +91,8 @@ func (e *lpEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.St
 		Ctx:            ctx,
 		NewInterceptor: e.newIC,
 		Probe:          &e.probe,
+		Trace:          e.opts.Trace,
+		Metrics:        e.opts.Metrics,
 	})
 	if err != nil {
 		var pe *lp.PanicError
@@ -105,7 +112,7 @@ func (e *lpEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.St
 		}
 		outputs[name] = tv
 	}
-	return &Result{
+	out := &Result{
 		Engine:      e.Name(),
 		Workers:     plan.K,
 		TotalEvents: res.TotalEvents,
@@ -113,5 +120,7 @@ func (e *lpEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.St
 		Elapsed:     time.Since(start),
 		Outputs:     outputs,
 		LP:          res.Stats,
-	}, nil
+	}
+	out.FillMetrics(e.opts)
+	return out, nil
 }

@@ -1,6 +1,9 @@
 package core
 
-import "hjdes/internal/circuit"
+import (
+	"hjdes/internal/circuit"
+	"hjdes/internal/obs"
+)
 
 // Options configures an engine run. The zero value gives the paper's
 // fully optimized HJlib configuration (per-port deques + per-port locks +
@@ -84,6 +87,19 @@ type Options struct {
 	// SingleSteal restores the classic one-task-per-round Chase–Lev steal
 	// in the HJ runtime instead of batched steal-half. Ablation knob.
 	SingleSteal bool
+
+	// Metrics, when non-nil, receives every run's counters: the engine
+	// folds Result.Metrics into the registry, and engines with live
+	// sharded instruments (the LP batch-size histogram) write them here
+	// during the run. Shared across runs; snapshot with Metrics.Snapshot.
+	Metrics *obs.Registry
+
+	// Trace, when non-nil, attaches a flight recorder to the run: engine
+	// workers/LPs record scheduling and protocol events into per-worker
+	// ring buffers. Drain with Trace.Events (Chrome export) or Trace.Tail
+	// (failure diagnostics); the stall watchdog appends the tail to every
+	// EngineError diag dump. Nil costs the hot paths one branch.
+	Trace *obs.Recorder
 }
 
 func (o Options) workers() int {

@@ -44,6 +44,7 @@ func (e *orderedEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result
 	}
 	record := !e.opts.DiscardOutputs
 	rt := galois.New(e.opts.workers())
+	rt.SetTrace(e.opts.Trace)
 	before := rt.Stats()
 
 	// Setup: flood every input terminal's events directly (the ordered
@@ -121,7 +122,7 @@ func (e *orderedEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result
 		}
 		ns.nullSent = true
 	}
-	return &Result{
+	res := &Result{
 		Engine:      "galois-ordered",
 		Workers:     rt.NumWorkers(),
 		TotalEvents: s.totalEvents(),
@@ -129,5 +130,7 @@ func (e *orderedEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result
 		Elapsed:     time.Since(start),
 		Outputs:     s.outputs(),
 		Galois:      statsDelta(rt.Stats(), before),
-	}, nil
+	}
+	res.FillMetrics(e.opts)
+	return res, nil
 }

@@ -7,6 +7,7 @@ import (
 	"hjdes/internal/galois"
 	"hjdes/internal/hj"
 	"hjdes/internal/lp"
+	"hjdes/internal/obs"
 )
 
 // Result is the outcome of one simulation run.
@@ -22,6 +23,36 @@ type Result struct {
 	Galois   galois.StatsSnapshot // populated by the Galois engine
 	TimeWarp TWStats              // populated by the Time Warp engine
 	LP       lp.Stats             // populated by the LP engine
+
+	// Metrics is the run's uniform counter map: every engine family folds
+	// its typed stats into dot-namespaced keys ("events", "hj.spawns",
+	// "lp.null_msgs", "galois.aborted", "tw.rollbacks", "chaos.kills"), so
+	// reporting code needs no per-engine switch.
+	Metrics obs.Metrics
+}
+
+// FillMetrics populates r.Metrics from the typed per-engine stats and, when
+// opts.Metrics is non-nil, folds the map into the shared registry. Engines
+// call it once at the end of a successful Run.
+func (r *Result) FillMetrics(opts Options) {
+	m := make(obs.Metrics)
+	m.Add("events", r.TotalEvents)
+	if r.HJ != (hj.StatsSnapshot{}) {
+		r.HJ.MetricsInto(m)
+	}
+	if r.Galois != (galois.StatsSnapshot{}) {
+		r.Galois.MetricsInto(m)
+	}
+	if r.TimeWarp != (TWStats{}) {
+		r.TimeWarp.MetricsInto(m)
+	}
+	if r.LP.Partitions > 0 {
+		r.LP.MetricsInto(m)
+	}
+	r.Metrics = m
+	if opts.Metrics != nil {
+		opts.Metrics.MergeMetrics(m)
+	}
 }
 
 func (r *Result) String() string {

@@ -80,14 +80,16 @@ func (e *seqEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, er
 		return nil, fmt.Errorf("core: simulation ended with node %d not terminated", bad)
 	}
 	s.release()
-	return &Result{
+	res := &Result{
 		Engine:      e.name,
 		Workers:     1,
 		TotalEvents: s.totalEvents(),
 		NodeEvents:  s.nodeEvents(),
 		Elapsed:     time.Since(start),
 		Outputs:     s.outputs(),
-	}, nil
+	}
+	res.FillMetrics(e.opts)
+	return res, nil
 }
 
 // simulate is the SIMULATE(n) routine shared by the sequential engines:

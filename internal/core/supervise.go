@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"hjdes/internal/circuit"
+	"hjdes/internal/obs"
 )
 
 // Failure reasons carried by EngineError.Reason.
@@ -72,6 +73,17 @@ type ProgressReporter interface {
 type Diagnoser interface {
 	Diagnose() string
 }
+
+// TraceSource is implemented by engines carrying a flight recorder
+// (Options.Trace): failure diagnostics append the recorder's per-worker
+// event tail to the Diag dump.
+type TraceSource interface {
+	TraceRecorder() *obs.Recorder
+}
+
+// diagTailEvents is how many flight-recorder events per worker a failure
+// diagnostic includes.
+const diagTailEvents = 32
 
 // SuperviseConfig tunes one supervised run. The zero value supervises
 // with no deadline and no watchdog: only panic containment applies.
@@ -233,8 +245,14 @@ func supervisedError(ctx context.Context, e Engine, err error) error {
 }
 
 func diagnose(e Engine) string {
+	diag := ""
 	if d, ok := e.(Diagnoser); ok {
-		return d.Diagnose()
+		diag = d.Diagnose()
 	}
-	return ""
+	if ts, ok := e.(TraceSource); ok {
+		if tail := obs.FormatTail(ts.TraceRecorder(), diagTailEvents); tail != "" {
+			diag += "flight recorder (last " + fmt.Sprint(diagTailEvents) + " events per worker):\n" + tail
+		}
+	}
+	return diag
 }

@@ -8,6 +8,7 @@ import (
 
 	"hjdes/internal/circuit"
 	"hjdes/internal/hj"
+	"hjdes/internal/obs"
 	"hjdes/internal/queue"
 )
 
@@ -44,6 +45,10 @@ func NewTimeWarp(opts Options) Engine {
 
 func (e *twEngine) Name() string { return e.name }
 
+// TraceRecorder exposes the run's flight recorder (nil when tracing is
+// off) for supervision failure dumps.
+func (e *twEngine) TraceRecorder() *obs.Recorder { return e.opts.Trace }
+
 // TWStats counts optimistic-execution activity.
 type TWStats struct {
 	Rounds     int
@@ -56,6 +61,16 @@ type TWStats struct {
 func (s TWStats) String() string {
 	return fmt.Sprintf("rounds=%d rollbacks=%d undone=%d antis=%d stragglers=%d",
 		s.Rounds, s.Rollbacks, s.Undone, s.Antis, s.Stragglers)
+}
+
+// MetricsInto folds the counters into a flat metrics map under the "tw."
+// namespace.
+func (s TWStats) MetricsInto(m obs.Metrics) {
+	m.Add("tw.rounds", int64(s.Rounds))
+	m.Add("tw.rollbacks", s.Rollbacks)
+	m.Add("tw.undone", s.Undone)
+	m.Add("tw.antis", s.Antis)
+	m.Add("tw.stragglers", s.Stragglers)
 }
 
 // twEvent is an optimistic message: a signal value or an anti-message
@@ -180,7 +195,7 @@ func (e *twEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.St
 
 	var rt *hj.Runtime
 	if e.opts.Workers != 1 {
-		rt = hj.NewRuntime(hj.Config{Workers: e.opts.workers()})
+		rt = hj.NewRuntime(hj.Config{Workers: e.opts.workers(), Trace: e.opts.Trace})
 		defer rt.Shutdown()
 		if ctx != nil {
 			watchDone := make(chan struct{})
@@ -208,6 +223,16 @@ func (e *twEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.St
 	}
 
 	stats := TWStats{}
+	// The barrier loop runs on this goroutine; hj workers own trace shards
+	// 0..W-1, so round records go on a dedicated shard above them.
+	var ring *obs.Ring
+	if e.opts.Trace != nil {
+		shard := 0
+		if rt != nil {
+			shard = rt.NumWorkers()
+		}
+		ring = e.opts.Trace.Ring(shard)
+	}
 	bank := 0 // the bank written during round 0 above
 	n := len(r.nodes)
 	for {
@@ -270,6 +295,11 @@ func (e *twEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.St
 				}
 			}
 		}
+		if gvt == TimeInfinity {
+			ring.Record(obs.EvRound, int64(stats.Rounds), -1)
+		} else {
+			ring.Record(obs.EvRound, int64(stats.Rounds), gvt)
+		}
 		if !busy {
 			break
 		}
@@ -303,6 +333,10 @@ func (e *twEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.St
 		res.Outputs[c.Nodes[id].Name] = r.nodes[id].history
 	}
 	res.TimeWarp = stats
+	if rt != nil {
+		res.HJ = rt.Stats()
+	}
+	res.FillMetrics(e.opts)
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

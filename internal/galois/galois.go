@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hjdes/internal/obs"
 	"hjdes/internal/queue"
 )
 
@@ -68,11 +69,20 @@ func (s StatsSnapshot) String() string {
 		s.Committed, s.Aborted, s.Pushed, s.AbortRate())
 }
 
+// MetricsInto folds the snapshot into a flat metrics map under the
+// "galois." namespace.
+func (s StatsSnapshot) MetricsInto(m obs.Metrics) {
+	m.Add("galois.committed", s.Committed)
+	m.Add("galois.aborted", s.Aborted)
+	m.Add("galois.pushed", s.Pushed)
+}
+
 // Runtime configures Galois-style execution. It is stateless between
 // ForEach calls apart from the accumulated Stats.
 type Runtime struct {
 	workers int
 	stats   Stats
+	trace   *obs.Recorder // nil when tracing is off
 }
 
 // New returns a runtime that executes activities on the given number of
@@ -86,6 +96,12 @@ func New(workers int) *Runtime {
 
 // NumWorkers reports the configured worker count.
 func (rt *Runtime) NumWorkers() int { return rt.workers }
+
+// SetTrace attaches a flight recorder: each ForEach worker owns ring
+// shard = its worker index and records activity commits and aborts. Only
+// one ForEach may run at a time on a traced runtime (the rings are
+// single-writer).
+func (rt *Runtime) SetTrace(rec *obs.Recorder) { rt.trace = rec }
 
 // Stats returns a snapshot of the accumulated activity counters.
 func (rt *Runtime) Stats() StatsSnapshot {
@@ -105,7 +121,8 @@ type Iteration[T any] struct {
 	undo     []func()
 	produced []T
 	onCommit []func()
-	aborts   int // consecutive aborts by this worker (for backoff)
+	aborts   int       // consecutive aborts by this worker (for backoff)
+	ring     *obs.Ring // flight-recorder shard; nil when tracing is off
 }
 
 // Acquire takes ownership of obj for this activity. If another running
@@ -215,7 +232,7 @@ func ForEach[T any](rt *Runtime, initial []T, body func(it *Iteration[T], item T
 				}
 			}()
 			local := ws.NewLocal()
-			it := &Iteration[T]{tag: new(ownerTag)}
+			it := &Iteration[T]{tag: new(ownerTag), ring: rt.trace.Ring(w)}
 			idleSpins := 0
 			for failure.Load() == nil {
 				item, ok := local.Pop()
@@ -266,6 +283,7 @@ func runItem[T any](rt *Runtime, it *Iteration[T], local *queue.Local[T], pendin
 			for _, fn := range it.onCommit {
 				fn()
 			}
+			it.ring.Record(obs.EvCommit, int64(len(it.acquired)), 0)
 			it.reset()
 			it.tag = new(ownerTag)
 			it.aborts = 0
@@ -277,6 +295,7 @@ func runItem[T any](rt *Runtime, it *Iteration[T], local *queue.Local[T], pendin
 			it.rollback()
 			it.tag = new(ownerTag)
 			it.aborts++
+			it.ring.Record(obs.EvAbort, int64(it.aborts), 0)
 			rt.stats.Aborted.Add(1)
 			// Requeue for retry with escalating backoff so the winning
 			// activity can finish (livelock avoidance by arbitration).

@@ -6,7 +6,14 @@ import (
 	"io"
 
 	"hjdes/internal/core"
+	"hjdes/internal/obs"
 )
+
+// BenchSchema is the version of the BenchRecord JSON shape. History:
+//
+//	v1 (implicit, schema field absent): timing + alloc + lp message fields
+//	v2: adds "schema" and the uniform per-engine "metrics" map
+const BenchSchema = 2
 
 // BenchRecord is one machine-readable benchmark measurement, the unit of
 // the repository's performance trajectory (`paperbench -json`, appended
@@ -16,23 +23,26 @@ import (
 // are populated for the lp engine only, where the null-message ratio is
 // the canonical CMB overhead metric.
 type BenchRecord struct {
-	Engine      string  `json:"engine"`
-	Circuit     string  `json:"circuit"`
-	Workers     int     `json:"workers"`
-	Events      int64   `json:"events"`
-	MinS        float64 `json:"min_s"`
-	MeanS       float64 `json:"mean_s"`
-	CI95S       float64 `json:"ci95_s"`
-	AllocsPerOp uint64  `json:"allocs_per_op"`
-	BytesPerOp  uint64  `json:"bytes_per_op"`
-	EventMsgs   int64   `json:"event_msgs,omitempty"`
-	NullMsgs    int64   `json:"null_msgs,omitempty"`
-	NMR         float64 `json:"nmr,omitempty"`
+	Schema      int         `json:"schema"`
+	Engine      string      `json:"engine"`
+	Circuit     string      `json:"circuit"`
+	Workers     int         `json:"workers"`
+	Events      int64       `json:"events"`
+	MinS        float64     `json:"min_s"`
+	MeanS       float64     `json:"mean_s"`
+	CI95S       float64     `json:"ci95_s"`
+	AllocsPerOp uint64      `json:"allocs_per_op"`
+	BytesPerOp  uint64      `json:"bytes_per_op"`
+	EventMsgs   int64       `json:"event_msgs,omitempty"`
+	NullMsgs    int64       `json:"null_msgs,omitempty"`
+	NMR         float64     `json:"nmr,omitempty"`
+	Metrics     obs.Metrics `json:"metrics,omitempty"`
 }
 
 // record converts a Measurement into its trajectory record.
 func record(circuit string, m *Measurement) BenchRecord {
 	r := BenchRecord{
+		Schema:      BenchSchema,
 		Engine:      m.Engine,
 		Circuit:     circuit,
 		Workers:     m.Workers,
@@ -47,6 +57,9 @@ func record(circuit string, m *Measurement) BenchRecord {
 		r.EventMsgs = m.Best.LP.EventMsgs
 		r.NullMsgs = m.Best.LP.NullMsgs
 		r.NMR = m.Best.LP.NullRatio()
+	}
+	if m.Best != nil {
+		r.Metrics = m.Best.Metrics
 	}
 	return r
 }

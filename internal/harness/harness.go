@@ -15,6 +15,7 @@ import (
 
 	"hjdes/internal/circuit"
 	"hjdes/internal/core"
+	"hjdes/internal/obs"
 	"hjdes/internal/stats"
 )
 
@@ -73,17 +74,26 @@ func Measure(spec Spec) (*Measurement, error) {
 	}
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
-	for i := 0; i < repeats; i++ {
-		res, err := core.Supervise(context.Background(), eng, spec.Circuit, spec.Stim,
-			core.SuperviseConfig{Timeout: spec.Timeout})
-		if err != nil {
-			return nil, fmt.Errorf("harness: %s run %d: %w", spec.Label, i, err)
+	// pprof labels scope any CPU/goroutine profile taken during the sweep:
+	// `go tool pprof -tagfocus engine=lp` isolates one engine's samples.
+	var runErr error
+	obs.Labeled(context.Background(), m.Engine, spec.Label, func(ctx context.Context) {
+		for i := 0; i < repeats; i++ {
+			res, err := core.Supervise(ctx, eng, spec.Circuit, spec.Stim,
+				core.SuperviseConfig{Timeout: spec.Timeout})
+			if err != nil {
+				runErr = fmt.Errorf("harness: %s run %d: %w", spec.Label, i, err)
+				return
+			}
+			m.Events = res.TotalEvents
+			m.Times.Add(res.Elapsed.Seconds())
+			if m.Best == nil || res.Elapsed < m.Best.Elapsed {
+				m.Best = res
+			}
 		}
-		m.Events = res.TotalEvents
-		m.Times.Add(res.Elapsed.Seconds())
-		if m.Best == nil || res.Elapsed < m.Best.Elapsed {
-			m.Best = res
-		}
+	})
+	if runErr != nil {
+		return nil, runErr
 	}
 	runtime.ReadMemStats(&after)
 	m.AllocsPerOp = (after.Mallocs - before.Mallocs) / uint64(repeats)

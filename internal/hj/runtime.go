@@ -7,6 +7,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"hjdes/internal/obs"
 )
 
 // Task is the body of an HJ async task. The Ctx argument identifies the
@@ -73,6 +75,10 @@ type Config struct {
 	// Seed seeds the per-worker victim selection. Zero means a fixed
 	// default so runs are reproducible.
 	Seed int64
+	// Trace, when non-nil, attaches a flight recorder: each worker owns
+	// ring shard = its worker id and records task spawns, steals and
+	// parks. Nil (the default) costs the hot paths one nil check.
+	Trace *obs.Recorder
 }
 
 // defaultStealMax bounds one stealHalf round. Half the victim's queue is
@@ -201,6 +207,7 @@ type worker struct {
 	freeTask *task // intrusive free list of recycled task records
 	freeLen  int
 	stats    workerStats
+	trace    *obs.Ring // flight-recorder shard; nil when tracing is off
 
 	_ [64]byte
 
@@ -241,6 +248,7 @@ func NewRuntime(cfg Config) *Runtime {
 			parker: newParker(),
 		}
 		w.ctx.worker = w
+		w.trace = cfg.Trace.Ring(i) // nil recorder → nil ring
 		rt.workers[i] = w
 	}
 	for _, w := range rt.workers {
@@ -403,6 +411,7 @@ func (w *worker) run() {
 			continue
 		}
 		w.stats.parks.Add(1)
+		w.trace.Record(obs.EvPark, 0, 0)
 		<-w.parker.ch
 	}
 }
@@ -432,6 +441,7 @@ func (w *worker) findWork() *task {
 		if t != nil {
 			w.stats.steals.Add(1)
 			w.stats.stolenTasks.Add(int64(taken))
+			w.trace.Record(obs.EvSteal, int64(victim.id), int64(taken))
 			if taken > 1 {
 				// The surplus sits in our deque now; offer it to another
 				// thief instead of letting it wait for us.
@@ -537,6 +547,7 @@ func (w *worker) helpUntil(fin *finishScope) {
 			continue
 		}
 		w.stats.helpParks.Add(1)
+		w.trace.Record(obs.EvPark, 1, 0)
 		select {
 		case <-w.parker.ch:
 			// Claimed and woken by a pusher; loop and look for its work.
@@ -572,6 +583,7 @@ func (c *Ctx) Async(fn Task) {
 	w := c.worker
 	w.deque.pushBottom(w.newTask(fn, c.fin))
 	w.stats.spawns.Add(1)
+	w.trace.Record(obs.EvSpawn, -1, -1)
 	w.rt.wakeOne()
 }
 
@@ -582,6 +594,7 @@ func (c *Ctx) AsyncIdx(fn IndexedTask, idx int32) {
 	w := c.worker
 	w.deque.pushBottom(w.newIdxTask(fn, idx, c.fin))
 	w.stats.spawns.Add(1)
+	w.trace.Record(obs.EvSpawn, int64(idx), -1)
 	w.rt.wakeOne()
 }
 
@@ -609,6 +622,7 @@ func (c *Ctx) asyncOn(target int, t *task) {
 	}
 	t.fin.register()
 	w.stats.spawns.Add(1)
+	w.trace.Record(obs.EvSpawn, int64(t.idx), int64(target))
 	tw := rt.workers[target]
 	if tw == w {
 		w.deque.pushBottom(t)

@@ -3,6 +3,8 @@ package hj
 import (
 	"fmt"
 	"sync/atomic"
+
+	"hjdes/internal/obs"
 )
 
 // workerStats is one worker's scheduler counters. Every field is written
@@ -75,6 +77,21 @@ func (s StatsSnapshot) String() string {
 	return fmt.Sprintf("spawns=%d (remote=%d) steals=%d (stolen=%d) parks=%d helpparks=%d isolated=%d locks(ok=%d fail=%d leak=%d rate=%.3f)",
 		s.Spawns, s.RemoteSpawns, s.Steals, s.StolenTasks, s.Parks, s.HelpParks, s.Isolated,
 		s.LockAcquires, s.LockFailures, s.LeakedLocks, s.LockSuccessRate())
+}
+
+// MetricsInto folds the snapshot into a flat metrics map under the "hj."
+// namespace.
+func (s StatsSnapshot) MetricsInto(m obs.Metrics) {
+	m.Add("hj.spawns", s.Spawns)
+	m.Add("hj.remote_spawns", s.RemoteSpawns)
+	m.Add("hj.steals", s.Steals)
+	m.Add("hj.stolen_tasks", s.StolenTasks)
+	m.Add("hj.parks", s.Parks)
+	m.Add("hj.help_parks", s.HelpParks)
+	m.Add("hj.isolated", s.Isolated)
+	m.Add("hj.lock_acquires", s.LockAcquires)
+	m.Add("hj.lock_failures", s.LockFailures)
+	m.Add("hj.leaked_locks", s.LeakedLocks)
 }
 
 // Sub returns the counter deltas s - prev, for measuring one run.

@@ -1,6 +1,9 @@
 package lp
 
-import "hjdes/internal/circuit"
+import (
+	"hjdes/internal/circuit"
+	"hjdes/internal/obs"
+)
 
 // Kill-and-restart fault model. An interceptor's CrashPoint kills the LP
 // at the top of its main loop: the LP's entire private state is
@@ -136,9 +139,11 @@ func (p *proc) restart() {
 			panic("lp: loop-top restart with buffered outgoing messages")
 		}
 	}
+	p.trace.Record(obs.EvCheckpoint, int64(len(p.nodes)), int64(p.remaining))
 	c := p.checkpoint()
 	p.scramble()
 	p.restore(c)
 	p.restarts++
+	p.trace.Record(obs.EvRestart, p.restarts, 0)
 	p.progress.Add(1)
 }

@@ -79,6 +79,7 @@ import (
 	"sync/atomic"
 
 	"hjdes/internal/circuit"
+	"hjdes/internal/obs"
 	"hjdes/internal/partition"
 	"hjdes/internal/queue"
 )
@@ -117,6 +118,14 @@ type Config struct {
 	// Probe, when non-nil, is attached to the run so external watchdogs
 	// can sample progress and snapshot per-LP state while Run executes.
 	Probe *Probe
+	// Trace, when non-nil, attaches a flight recorder: each LP owns ring
+	// shard = its LP id and records sends, receives, nulls, blocks and
+	// checkpoint/restart cycles.
+	Trace *obs.Recorder
+	// Metrics, when non-nil, receives live sharded measurements (currently
+	// the "lp.batch_size" histogram, observed per shipped batch on the
+	// sender's shard).
+	Metrics *obs.Registry
 }
 
 // DefaultInboxCap is the default per-LP inbox bound (in batches): small
@@ -133,9 +142,9 @@ const batchCap = 64
 // steady-state simulation recycles its buffers across runs instead of
 // allocating. All element types are pointer-free — see queue.Arena.
 var (
-	msgArena   queue.Arena[Msg]   // cross-partition message batches
-	evArena    queue.Arena[event] // per-port event deque rings
-	wsArena    queue.Arena[int32] // per-LP workset rings
+	msgArena queue.Arena[Msg]   // cross-partition message batches
+	evArena  queue.Arena[event] // per-port event deque rings
+	wsArena  queue.Arena[int32] // per-LP workset rings
 )
 
 // ErrCanceled reports an LP that unwound because Config.Ctx was canceled.
@@ -181,6 +190,18 @@ func (s Stats) NullRatio() float64 {
 		return 0
 	}
 	return float64(s.NullMsgs) / float64(total)
+}
+
+// MetricsInto folds the counters into a flat metrics map under the "lp."
+// namespace.
+func (s Stats) MetricsInto(m obs.Metrics) {
+	m.Add("lp.partitions", int64(s.Partitions))
+	m.Add("lp.cut_edges", int64(s.CutEdges))
+	m.Add("lp.event_msgs", s.EventMsgs)
+	m.Add("lp.null_msgs", s.NullMsgs)
+	m.Add("lp.piggy_nulls", s.PiggyNulls)
+	m.Add("lp.batches", s.Batches)
+	m.Add("lp.restarts", s.Restarts)
 }
 
 func (s Stats) String() string {
@@ -378,6 +399,9 @@ type proc struct {
 	restarts   int64
 	err        error
 
+	trace     *obs.Ring      // flight-recorder shard; nil when tracing is off
+	batchHist *obs.Histogram // live batch-size histogram; nil without a registry
+
 	// Diagnostics, written by this LP and read by Probe goroutines.
 	progress   atomic.Uint64 // messages applied + node activations
 	state      atomic.Int32  // stateRunning / stateBlockedRecv / ...
@@ -488,6 +512,10 @@ func Run(c *circuit.Circuit, stim *circuit.Stimulus, plan *partition.Plan, cfg C
 			inEdges: make(map[int32][]inEdge),
 		}
 		r.procs[i].ws.SetArena(&wsArena)
+		r.procs[i].trace = cfg.Trace.Ring(i) // nil recorder → nil ring
+		if cfg.Metrics != nil {
+			r.procs[i].batchHist = cfg.Metrics.Histogram("lp.batch_size")
+		}
 		if cfg.NewInterceptor != nil {
 			r.procs[i].ic = cfg.NewInterceptor(i)
 		}
@@ -686,6 +714,7 @@ func (p *proc) checkCanceled() {
 // blockRecv waits for one inbox batch, publishing blocked-recv state for
 // diagnostics and honoring cancellation.
 func (p *proc) blockRecv() {
+	p.trace.Record(obs.EvBlock, int64(len(p.inbox)), int64(p.remaining))
 	p.noteBlocked(stateBlockedRecv, -1)
 	defer p.state.Store(stateRunning)
 	select {
@@ -842,6 +871,10 @@ func (p *proc) flushTo(to int32) {
 	}
 	p.outBuf[to] = nil
 	p.batches++
+	p.trace.Record(obs.EvSend, int64(to), int64(len(buf)))
+	if p.batchHist != nil {
+		p.batchHist.Observe(int(p.id), float64(len(buf)))
+	}
 	box := p.r.procs[to].inbox
 	select {
 	case box <- buf:
@@ -903,6 +936,7 @@ func (p *proc) applyPromise(src int32, bound int64) {
 // applyBatch applies one received batch in order and recycles its
 // backing array.
 func (p *proc) applyBatch(batch []Msg) {
+	p.trace.Record(obs.EvRecv, int64(len(batch)), 0)
 	for i := range batch {
 		p.apply(batch[i])
 	}
@@ -1081,6 +1115,7 @@ func (p *proc) sendNulls() {
 			}
 		}
 		p.nullMsgs++
+		p.trace.Record(obs.EvNull, int64(to), promise)
 		p.send(to, Msg{Kind: MsgNullChan, Src: p.id, Time: promise})
 	}
 }

@@ -1,0 +1,67 @@
+package obs
+
+import "testing"
+
+// TestRecordDisabledZeroAlloc is the overhead guard for untraced runs:
+// the disabled path (nil ring) must be a single branch with zero
+// allocations, and the enabled path must be zero-alloc too — a ring
+// never grows after construction.
+func TestRecordDisabledZeroAlloc(t *testing.T) {
+	var nilRing *Ring
+	if n := testing.AllocsPerRun(1000, func() {
+		nilRing.Record(EvSpawn, 1, 2)
+	}); n != 0 {
+		t.Fatalf("disabled Record allocates %v/op, want 0", n)
+	}
+	g := NewRecorder(256).Ring(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		g.Record(EvSpawn, 1, 2)
+	}); n != 0 {
+		t.Fatalf("enabled Record allocates %v/op, want 0", n)
+	}
+}
+
+func TestCounterAddZeroAlloc(t *testing.T) {
+	c := NewRegistry(8).Counter("bench")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add(3, 1)
+	}); n != 0 {
+		t.Fatalf("Counter.Add allocates %v/op, want 0", n)
+	}
+}
+
+func BenchmarkRecordDisabled(b *testing.B) {
+	var g *Ring
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Record(EvSpawn, int64(i), 0)
+	}
+}
+
+func BenchmarkRecordEnabled(b *testing.B) {
+	g := NewRecorder(4096).Ring(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Record(EvSpawn, int64(i), 0)
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry(8).Counter("bench")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		shard := 0
+		for pb.Next() {
+			c.Add(shard, 1)
+			shard++
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry(8).Histogram("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0, float64(i&1023))
+	}
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format's JSON Array
+// flavor, the subset Perfetto and chrome://tracing load: instant events
+// ("ph":"i") with thread scope, timestamps in microseconds, tid = the
+// recording shard (worker / LP).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Scope string         `json:"s"`
+	TS    float64        `json:"ts"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int32          `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON Object wrapper, which lets viewers apply the
+// display unit.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders drained flight-recorder events as Chrome
+// trace_event JSON. Open the file in https://ui.perfetto.dev or
+// chrome://tracing; each shard appears as one thread track.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	ce := make([]chromeEvent, len(events))
+	for i, ev := range events {
+		ce[i] = chromeEvent{
+			Name:  ev.Kind.String(),
+			Phase: "i",
+			Scope: "t",
+			TS:    float64(ev.TS) / 1e3,
+			TID:   ev.Shard,
+			Args:  map[string]any{"a": ev.A, "b": ev.B},
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{TraceEvents: ce, DisplayTimeUnit: "ns"})
+}

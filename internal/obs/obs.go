@@ -1,0 +1,69 @@
+// Package obs is the runtime observability layer shared by every engine
+// family: a sharded metrics registry, a per-worker flight-recorder trace
+// ring, and exporters (Chrome trace_event JSON for Perfetto, a compact
+// text dump, pprof label scoping).
+//
+// The design splits observability into two costs:
+//
+//   - Metrics are counters, gauges and histograms behind a Registry whose
+//     write side is sharded per worker on cache-line-padded slots — the
+//     generalization of the hand-rolled padded per-worker counters the hj
+//     scheduler grew in earlier PRs. Shards are merged only on Snapshot,
+//     so the hot path never writes a cache line another worker reads.
+//   - Tracing is a flight recorder: each worker (or logical process) owns
+//     a fixed-size ring of binary event records and overwrites the oldest
+//     when full. Recording is zero-alloc and lock-free (single writer per
+//     ring, seqlock-validated readers), and a disabled recorder costs one
+//     nil check. Rings are drained on completion — or mid-run by the
+//     stall watchdog, so a wedged engine's failure report carries the
+//     last events each worker saw before the stall.
+//
+// Engines surface their run counters as a flat Metrics map with
+// dot-namespaced keys (hj.spawns, lp.null_msgs, galois.aborted,
+// tw.rollbacks, chaos.kills), the uniform representation core.Result
+// carries for every engine family.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Metrics is a flat name → value map of run counters, the uniform
+// cross-engine metrics representation. Keys are dot-namespaced by
+// subsystem (hj.spawns, lp.event_msgs, chaos.kills).
+type Metrics map[string]int64
+
+// Add increments key by delta, creating it at zero first.
+func (m Metrics) Add(key string, delta int64) { m[key] += delta }
+
+// Merge folds every entry of other into m (summing shared keys).
+func (m Metrics) Merge(other Metrics) {
+	for k, v := range other {
+		m[k] += v
+	}
+}
+
+// Keys returns the metric names in sorted order, for deterministic
+// rendering.
+func (m Metrics) Keys() []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// String renders the map as "k=v k=v ..." in key order.
+func (m Metrics) String() string {
+	var b strings.Builder
+	for i, k := range m.Keys() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", k, m[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,18 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// Labeled runs fn with pprof labels engine=<engine> phase=<phase>
+// attached to the calling goroutine (and inherited by goroutines it
+// starts, including every engine worker). CPU and goroutine profiles
+// taken during a run can then be sliced per engine and per experiment
+// phase with `go tool pprof -tagfocus`.
+func Labeled(ctx context.Context, engine, phase string, fn func(ctx context.Context)) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pprof.Do(ctx, pprof.Labels("engine", engine, "phase", phase), fn)
+}

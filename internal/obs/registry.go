@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hjdes/internal/stats"
+)
+
+// Registry is a typed metrics registry with per-worker write sharding.
+// Counter and Histogram return get-or-create handles (setup path, under a
+// lock); the handles' write methods are the hot path and touch only the
+// caller's own cache-line-padded shard. Snapshot merges the shards on
+// demand.
+//
+// The shard count is fixed at construction and rounded up to a power of
+// two; write methods mask the caller-supplied shard index, so callers may
+// pass any nonnegative worker/LP id without bounds-checking against the
+// registry.
+type Registry struct {
+	shards int
+	mask   uint32
+
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns a registry with the given number of write shards
+// per metric (rounded up to a power of two). shards <= 0 means
+// GOMAXPROCS.
+func NewRegistry(shards int) *Registry {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	return &Registry{
+		shards:   n,
+		mask:     uint32(n - 1),
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Shards reports the (power-of-two) shard count.
+func (r *Registry) Shards() int { return r.shards }
+
+// Counter returns the named counter, creating it on first use. Safe for
+// concurrent use; intended for engine setup, not the per-event hot path
+// (hold the returned handle instead).
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{mask: r.mask, shards: make([]paddedInt64, r.shards)}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use. Safe
+// for concurrent use; setup path only.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{mask: r.mask, shards: make([]histShard, r.shards)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// MergeMetrics folds a finished run's flat metrics map into the registry
+// (shard 0 — the map is already merged, so sharding it again would buy
+// nothing).
+func (r *Registry) MergeMetrics(m Metrics) {
+	for k, v := range m {
+		r.Counter(k).Add(0, v)
+	}
+}
+
+// Snapshot is a point-in-time merge of every registered metric.
+type Snapshot struct {
+	Counters Metrics
+	Hists    map[string]HistSnapshot
+}
+
+// Snapshot merges all shards of every metric. Safe to call concurrently
+// with writers (counter reads are atomic; histogram shards are briefly
+// locked one at a time).
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{Counters: make(Metrics, len(r.counters)), Hists: make(map[string]HistSnapshot, len(r.hists))}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, h := range r.hists {
+		s.Hists[name] = h.Snapshot()
+	}
+	return s
+}
+
+// paddedInt64 is one counter shard: an atomic on its own cache line, so
+// two workers bumping the same metric never write the same line.
+type paddedInt64 struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is an accumulating int64 metric with per-worker write shards.
+type Counter struct {
+	mask   uint32
+	shards []paddedInt64
+}
+
+// Add adds delta on the given shard (masked into range). Each shard is an
+// uncontended atomic when callers pass their own worker id.
+func (c *Counter) Add(shard int, delta int64) {
+	c.shards[uint32(shard)&c.mask].v.Add(delta)
+}
+
+// Inc is Add(shard, 1).
+func (c *Counter) Inc(shard int) { c.Add(shard, 1) }
+
+// Value sums the shards.
+func (c *Counter) Value() int64 {
+	var sum int64
+	for i := range c.shards {
+		sum += c.shards[i].v.Load()
+	}
+	return sum
+}
+
+// histShardCap bounds each shard's sample reservoir. Once full the shard
+// keeps counting and summing exactly but recycles reservoir slots as a
+// sliding window, so percentiles reflect recent observations.
+const histShardCap = 4096
+
+// histShard is one histogram shard: a small mutex plus reservoir, padded
+// so neighboring shards do not share a line.
+type histShard struct {
+	mu    sync.Mutex
+	n     int64
+	sum   float64
+	min   float64
+	max   float64
+	reser []float64
+	_     [24]byte
+}
+
+// Histogram is a sampled distribution metric: exact count/sum/min/max,
+// and quantiles computed from per-shard reservoirs at snapshot time via
+// stats.Sample.Percentile.
+type Histogram struct {
+	mask   uint32
+	shards []histShard
+}
+
+// Observe records one value on the given shard (masked into range).
+func (h *Histogram) Observe(shard int, v float64) {
+	s := &h.shards[uint32(shard)&h.mask]
+	s.mu.Lock()
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	if len(s.reser) < histShardCap {
+		s.reser = append(s.reser, v)
+	} else {
+		s.reser[s.n%histShardCap] = v
+	}
+	s.n++
+	s.sum += v
+	s.mu.Unlock()
+}
+
+// HistSnapshot is the merged view of one histogram.
+type HistSnapshot struct {
+	Count         int64
+	Sum           float64
+	Min, Max      float64
+	P50, P90, P99 float64
+}
+
+// Mean returns Sum/Count, or NaN for an empty histogram.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Snapshot merges the shards and computes quantiles over the pooled
+// reservoirs.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var out HistSnapshot
+	sample := stats.New()
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		if s.n > 0 {
+			if out.Count == 0 || s.min < out.Min {
+				out.Min = s.min
+			}
+			if out.Count == 0 || s.max > out.Max {
+				out.Max = s.max
+			}
+			out.Count += s.n
+			out.Sum += s.sum
+			for _, v := range s.reser {
+				sample.Add(v)
+			}
+		}
+		s.mu.Unlock()
+	}
+	if sample.N() > 0 {
+		out.P50 = sample.Percentile(50)
+		out.P90 = sample.Percentile(90)
+		out.P99 = sample.Percentile(99)
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrentShardedAdds(t *testing.T) {
+	r := NewRegistry(8)
+	c := r.Counter("test.adds")
+	const workers, perWorker = 16, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Add(w, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("Value = %d, want %d", got, workers*perWorker)
+	}
+	if snap := r.Snapshot(); snap.Counters["test.adds"] != workers*perWorker {
+		t.Fatalf("Snapshot = %d, want %d", snap.Counters["test.adds"], workers*perWorker)
+	}
+}
+
+func TestCounterGetOrCreate(t *testing.T) {
+	r := NewRegistry(4)
+	a := r.Counter("same")
+	b := r.Counter("same")
+	if a != b {
+		t.Fatal("Counter should return the same handle for the same name")
+	}
+	a.Inc(0)
+	b.Inc(99) // masked into the shard range, never out of bounds
+	if a.Value() != 2 {
+		t.Fatalf("Value = %d, want 2", a.Value())
+	}
+}
+
+func TestRegistryShardRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {9, 16}} {
+		if got := NewRegistry(tc.in).Shards(); got != tc.want {
+			t.Errorf("NewRegistry(%d).Shards() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	if NewRegistry(0).Shards() < 1 {
+		t.Error("default shard count should be at least 1")
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	r := NewRegistry(4)
+	h := r.Histogram("lat")
+	// 1..1000 spread across shards: exact count/sum and stable quantiles.
+	var sum float64
+	for i := 1; i <= 1000; i++ {
+		h.Observe(i%4, float64(i))
+		sum += float64(i)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 || s.Sum != sum || s.Min != 1 || s.Max != 1000 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if got := s.Mean(); math.Abs(got-500.5) > 1e-9 {
+		t.Fatalf("Mean = %v, want 500.5", got)
+	}
+	if s.P50 < 450 || s.P50 > 550 {
+		t.Fatalf("P50 = %v, want ~500", s.P50)
+	}
+	if s.P99 < 950 || s.P99 > 1000 {
+		t.Fatalf("P99 = %v, want ~990", s.P99)
+	}
+	if !(s.P50 <= s.P90 && s.P90 <= s.P99) {
+		t.Fatalf("quantiles not monotone: %+v", s)
+	}
+}
+
+func TestHistogramSlidingWindowKeepsExactCount(t *testing.T) {
+	r := NewRegistry(1)
+	h := r.Histogram("win")
+	n := histShardCap*2 + 17
+	for i := 0; i < n; i++ {
+		h.Observe(0, float64(i))
+	}
+	s := h.Snapshot()
+	if s.Count != int64(n) {
+		t.Fatalf("Count = %d, want %d (window must not lose the exact count)", s.Count, n)
+	}
+	if s.Max != float64(n-1) || s.Min != 0 {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	// Quantiles reflect the recent window, not the full history.
+	if s.P50 < float64(n-histShardCap) {
+		t.Fatalf("P50 = %v reflects evicted history (window starts at %d)", s.P50, n-histShardCap)
+	}
+}
+
+func TestMergeMetricsAndSnapshot(t *testing.T) {
+	r := NewRegistry(2)
+	r.MergeMetrics(Metrics{"a": 1, "b": 10})
+	r.MergeMetrics(Metrics{"a": 2})
+	snap := r.Snapshot()
+	if snap.Counters["a"] != 3 || snap.Counters["b"] != 10 {
+		t.Fatalf("merged counters = %v", snap.Counters)
+	}
+}
+
+func TestMetricsMapHelpers(t *testing.T) {
+	m := make(Metrics)
+	m.Add("z", 1)
+	m.Add("a", 2)
+	m.Add("z", 3)
+	m.Merge(Metrics{"m": 5})
+	if got := fmt.Sprint(m.Keys()); got != "[a m z]" {
+		t.Fatalf("Keys = %v", got)
+	}
+	if m["z"] != 4 {
+		t.Fatalf("Add should accumulate: z = %d", m["z"])
+	}
+	if s := m.String(); s != "a=2 m=5 z=4" {
+		t.Fatalf("String = %q", s)
+	}
+}

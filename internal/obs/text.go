@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatEvents renders events one per line:
+//
+//	[shard 2] +1.234ms lp-send a=3 b=64
+func FormatEvents(events []Event) string {
+	var b strings.Builder
+	for _, ev := range events {
+		fmt.Fprintf(&b, "[shard %d] +%.3fms %s a=%d b=%d\n",
+			ev.Shard, float64(ev.TS)/1e6, ev.Kind, ev.A, ev.B)
+	}
+	return b.String()
+}
+
+// FormatTail renders the newest n records per shard of a recorder — the
+// compact dump appended to engine failure reports. Empty (and harmless)
+// for a nil recorder or one that recorded nothing.
+func FormatTail(r *Recorder, n int) string {
+	events := r.Tail(n)
+	if len(events) == 0 {
+		return ""
+	}
+	return FormatEvents(events)
+}

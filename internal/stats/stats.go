@@ -92,6 +92,32 @@ func (s *Sample) Median() float64 {
 	return (sorted[n/2-1] + sorted[n/2]) / 2
 }
 
+// Percentile returns the p-th percentile (p in [0, 100], clamped), using
+// linear interpolation between closest ranks, so Percentile(50) equals
+// Median for every sample size. It returns NaN for an empty sample; a
+// single-value sample returns that value for every p.
+func (s *Sample) Percentile(p float64) float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := append([]float64(nil), s.xs...)
+	sort.Float64s(sorted)
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
 // StdDev returns the sample standard deviation (n-1 denominator), or 0
 // for samples smaller than 2.
 func (s *Sample) StdDev() float64 {

@@ -221,3 +221,69 @@ func TestRatioNaNPropagation(t *testing.T) {
 		t.Errorf("PercentReduction(100, NaN) = %v, want NaN", got)
 	}
 }
+
+// TestPercentileMatchesMedian pins Percentile(50) == Median for both
+// parities and across random samples: the linear-interpolation rank
+// definition was chosen precisely for this identity.
+func TestPercentileMatchesMedian(t *testing.T) {
+	cases := [][]float64{
+		{3, 1, 2},
+		{4, 1, 3, 2},
+		{7},
+		{5, 5, 5, 5},
+		{-2, 9, 0.5, 3.25, -7, 11},
+	}
+	for _, xs := range cases {
+		s := New(xs...)
+		if p, m := s.Percentile(50), s.Median(); !almost(p, m) {
+			t.Errorf("xs=%v: Percentile(50) = %v, Median = %v", xs, p, m)
+		}
+	}
+	if err := quick.Check(func(xs []float64) bool {
+		for _, x := range xs {
+			// Keep inputs where the even-n midpoint (a+b)/2 and the
+			// interpolated rank agree to the absolute tolerance.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true
+			}
+		}
+		s := New(xs...)
+		if len(xs) == 0 {
+			return math.IsNaN(s.Percentile(50))
+		}
+		return almost(s.Percentile(50), s.Median())
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	if !math.IsNaN(New().Percentile(50)) {
+		t.Error("empty sample should report NaN percentile")
+	}
+	one := New(42)
+	for _, p := range []float64{0, 17, 50, 100} {
+		if got := one.Percentile(p); !almost(got, 42) {
+			t.Errorf("singleton Percentile(%v) = %v, want 42", p, got)
+		}
+	}
+	s := New(10, 20, 30, 40)
+	if got := s.Percentile(0); !almost(got, 10) {
+		t.Errorf("Percentile(0) = %v, want min", got)
+	}
+	if got := s.Percentile(100); !almost(got, 40) {
+		t.Errorf("Percentile(100) = %v, want max", got)
+	}
+	// Out-of-range p clamps rather than panics or extrapolates.
+	if got := s.Percentile(-5); !almost(got, 10) {
+		t.Errorf("Percentile(-5) = %v, want min", got)
+	}
+	if got := s.Percentile(250); !almost(got, 40) {
+		t.Errorf("Percentile(250) = %v, want max", got)
+	}
+	// Interpolation between closest ranks: p75 of {10..40} sits 1/4 of the
+	// way from 30 to 40.
+	if got := s.Percentile(75); !almost(got, 32.5) {
+		t.Errorf("Percentile(75) = %v, want 32.5", got)
+	}
+}
