@@ -40,7 +40,10 @@ var (
 	hotFlag     = flag.Int("hotspots", 0, "print the N busiest nodes by processed events")
 	timeoutFlag = flag.Duration("timeout", 0, "fail the run after this long (0 = unbounded)")
 	stallFlag   = flag.Duration("stall", 0, "fail the run if the engine makes no progress for this long (0 = no watchdog)")
-	chaosFlag   = flag.String("chaos", "", "lp: fault-injection spec, e.g. seed=7,delay=0.3,dup=0.2,kill=0.1 (fields: seed delay dup kill maxkills maxheld dropnulls)")
+	chaosFlag   = flag.String("chaos", "", "fault-injection spec; lp: seed=7,delay=0.3,dup=0.2,kill=0.1 (fields: seed delay dup kill maxkills maxheld dropnulls); other engines: seed=7,panic=0.01,wakedrop=0.1 (fields: seed panic maxpanics wakedrop maxwakedrops wakedelay rollback maxrollbacks)")
+	retryFlag   = flag.Int("retries", 0, "resilient: extra attempts per engine on retryable failures before degrading (0 = fail fast)")
+	fbFlag      = flag.String("fallback", "", "resilient: comma-separated engine degradation chain tried after the retry budget, e.g. lp,seq")
+	ckptFlag    = flag.Int("checkpoint-every", 0, "resilient: snapshot crash-consistent state every N settle boundaries so retries resume instead of restarting (0 = off)")
 	inboxFlag   = flag.Int("inbox-cap", 0, "lp: per-LP inbox capacity (0 = default)")
 	traceFlag   = flag.String("trace-out", "", "record a flight-recorder trace and write it as Chrome trace_event JSON (load in Perfetto or chrome://tracing)")
 	metricsFlag = flag.Bool("metrics", false, "print the run's uniform metrics map (all engine counters, dot-namespaced)")
@@ -63,8 +66,9 @@ func fatalf(format string, args ...any) {
 // Run-scoped instrumentation, package-level so the failure path
 // (dieSupervised) can report fault counts and dump the trace.
 var (
-	recorder *obs.Recorder
-	injector *chaos.Injector
+	recorder      *obs.Recorder
+	injector      *chaos.Injector
+	schedInjector *chaos.SchedInjector
 )
 
 func main() {
@@ -74,36 +78,46 @@ func main() {
 		fatalf("%v", err)
 	}
 	opts := core.Options{
-		Workers:        *workersFlag,
-		Partitions:     *partsFlag,
-		PerNodePQ:      *pqFlag,
-		PerNodeLocks:   *nodeLockFlag,
-		NoTempQueue:    *noTempFlag,
-		NaiveRespawn:   *naiveFlag,
-		GlobalIsolated: *isoFlag,
-		MutexLocks:     *mutexFlag,
-		NoAffinity:     *noAffFlag,
-		SingleSteal:    *steal1Flag,
-		TimeWarpWindow: *twWindow,
-		LPInboxCap:     *inboxFlag,
-		DiscardOutputs: !*verifyFlag && *vcdFlag == "",
+		Workers:         *workersFlag,
+		Partitions:      *partsFlag,
+		PerNodePQ:       *pqFlag,
+		PerNodeLocks:    *nodeLockFlag,
+		NoTempQueue:     *noTempFlag,
+		NaiveRespawn:    *naiveFlag,
+		GlobalIsolated:  *isoFlag,
+		MutexLocks:      *mutexFlag,
+		NoAffinity:      *noAffFlag,
+		SingleSteal:     *steal1Flag,
+		TimeWarpWindow:  *twWindow,
+		LPInboxCap:      *inboxFlag,
+		CheckpointEvery: *ckptFlag,
+		DiscardOutputs:  !*verifyFlag && *vcdFlag == "",
 	}
 	if *traceFlag != "" {
 		recorder = obs.NewRecorder(0)
 		opts.Trace = recorder
 	}
 	var eng core.Engine
-	if *chaosFlag != "" {
-		if *engineFlag != "lp" {
-			fatalf("-chaos requires -engine lp (got %q)", *engineFlag)
-		}
+	switch {
+	case *chaosFlag != "" && *engineFlag == "lp":
+		// lp chaos lives on the message plane: the inbox interceptor.
 		ccfg, err := chaos.ParseSpec(*chaosFlag)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		injector = chaos.New(ccfg)
 		eng = core.NewLPIntercepted(opts, injector.Factory())
-	} else {
+	case *chaosFlag != "":
+		// Every other engine takes scheduler-level faults (task panics,
+		// lost/delayed wakeups, rollback storms) through core.ChaosHooks.
+		ccfg, err := chaos.ParseSchedSpec(*chaosFlag)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		schedInjector = chaos.NewSched(ccfg)
+		opts.Chaos = schedInjector.Hooks()
+		fallthrough
+	default:
 		var err error
 		eng, err = core.NewEngine(*engineFlag, opts)
 		if err != nil {
@@ -113,7 +127,12 @@ func main() {
 
 	fmt.Printf("circuit: %v\n", c)
 	period := c.SettleTime() + 10
-	scfg := core.SuperviseConfig{Timeout: *timeoutFlag, StallTimeout: *stallFlag}
+	rcfg := core.ResilientConfig{
+		Supervise: core.SuperviseConfig{Timeout: *timeoutFlag, StallTimeout: *stallFlag},
+		Retry:     core.RetryPolicy{Retries: *retryFlag, Seed: *seedFlag},
+		Fallback:  fallbackChain(),
+		Options:   opts,
+	}
 	if *verifyFlag {
 		rng := rand.New(rand.NewSource(*seedFlag))
 		waves := make([]map[string]circuit.Value, *wavesFlag)
@@ -125,7 +144,7 @@ func main() {
 			waves[w] = m
 		}
 		stim := circuit.VectorWaves(c, waves, period)
-		res, err := core.Supervise(context.Background(), eng, c, stim, scfg)
+		res, err := core.Resilient(context.Background(), eng, c, stim, rcfg)
 		if err != nil {
 			dieSupervised(err)
 		}
@@ -133,6 +152,7 @@ func main() {
 			fatalf("verification failed: %v", err)
 		}
 		fmt.Printf("%v\nverify: OK (%d waves checked against the oracle)\n", res, len(waves))
+		printResilience(res)
 		printStats(res)
 		printMetrics(res)
 		printHotspots(c, res)
@@ -141,11 +161,12 @@ func main() {
 		return
 	}
 	stim := circuit.RandomStimulus(c, *wavesFlag, period, *seedFlag)
-	res, err := core.Supervise(context.Background(), eng, c, stim, scfg)
+	res, err := core.Resilient(context.Background(), eng, c, stim, rcfg)
 	if err != nil {
 		dieSupervised(err)
 	}
 	fmt.Printf("initial events: %d\n%v\n", stim.NumEvents(), res)
+	printResilience(res)
 	printStats(res)
 	printMetrics(res)
 	printHotspots(c, res)
@@ -153,9 +174,36 @@ func main() {
 	writeTrace()
 }
 
+// fallbackChain parses the -fallback engine list.
+func fallbackChain() []string {
+	if *fbFlag == "" {
+		return nil
+	}
+	var chain []string
+	for _, name := range strings.Split(*fbFlag, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			chain = append(chain, name)
+		}
+	}
+	return chain
+}
+
+// printResilience prints the DEGRADED banner (or a recovery note) when the
+// run survived failures. A degraded run still exits 0: the simulation
+// completed, just not on the engine that was asked for.
+func printResilience(res *core.Result) {
+	if res.Degraded {
+		fmt.Printf("DEGRADED: completed on fallback engine %q after %d attempts\n", res.Engine, res.Attempts)
+	} else if res.Attempts > 1 {
+		fmt.Printf("recovered: %d attempts on %q\n", res.Attempts, res.Engine)
+	}
+}
+
 // dieSupervised reports a failed supervised run. Structured engine
 // failures (panic, timeout, stall) print their diagnostic snapshot and
-// exit with status 2, so scripts can tell a wedged engine from bad usage.
+// exit with status 2 — with -retries/-fallback that means the whole
+// degradation chain failed, not just the first engine. Usage and
+// configuration errors exit 1; degraded-but-complete runs exit 0.
 func dieSupervised(err error) {
 	removeStaleVCD()
 	var ee *core.EngineError
@@ -166,6 +214,9 @@ func dieSupervised(err error) {
 		}
 		if injector != nil {
 			fmt.Fprintf(os.Stderr, "--- injected faults ---\n%v\n", &injector.Stats)
+		}
+		if schedInjector != nil {
+			fmt.Fprintf(os.Stderr, "--- injected faults ---\n%v\n", &schedInjector.Stats)
 		}
 		if ee.Reason == core.FailPanic && len(ee.Stack) > 0 {
 			fmt.Fprintf(os.Stderr, "--- panic stack ---\n%s", ee.Stack)
@@ -237,6 +288,9 @@ func writeTrace() {
 func printMetrics(res *core.Result) {
 	if injector != nil && res.Metrics != nil {
 		res.Metrics.Merge(injector.Stats.Metrics())
+	}
+	if schedInjector != nil && res.Metrics != nil {
+		res.Metrics.Merge(schedInjector.Stats.Metrics())
 	}
 	if !*metricsFlag {
 		return

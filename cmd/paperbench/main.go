@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"hjdes/internal/core"
 	"hjdes/internal/harness"
@@ -31,6 +32,9 @@ var (
 	circuitFlag = flag.String("circuit", "", "restrict experiments to one paper circuit by name (e.g. koggestone-64)")
 	jsonFlag    = flag.String("json", "", "with -exp bench: write machine-readable records to this file ('-' for stdout)")
 	hjAblFlag   = flag.Bool("hjablations", false, "with -exp bench: add hj scheduler ablation rows (hj-noaff, hj-steal1) at each worker count")
+	retryFlag   = flag.Int("retries", 0, "resilient: extra attempts per engine on retryable failures (0 = fail fast)")
+	fbFlag      = flag.String("fallback", "", "resilient: comma-separated engine degradation chain, e.g. lp,seq")
+	ckptFlag    = flag.Int("checkpoint-every", 0, "resilient: snapshot every N settle boundaries so retries resume (0 = off)")
 )
 
 func fatalf(format string, args ...any) {
@@ -54,12 +58,21 @@ func emit(t *harness.Table) {
 func main() {
 	flag.Parse()
 	cfg := harness.Config{
-		Scale:       *scaleFlag,
-		Repeats:     *repeatsFlag,
-		MaxWorkers:  *workersFlag,
-		Seed:        *seedFlag,
-		Timeout:     *timeoutFlag,
-		HJAblations: *hjAblFlag,
+		Scale:           *scaleFlag,
+		Repeats:         *repeatsFlag,
+		MaxWorkers:      *workersFlag,
+		Seed:            *seedFlag,
+		Timeout:         *timeoutFlag,
+		HJAblations:     *hjAblFlag,
+		Retries:         *retryFlag,
+		CheckpointEvery: *ckptFlag,
+	}
+	if *fbFlag != "" {
+		for _, name := range strings.Split(*fbFlag, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				cfg.Fallback = append(cfg.Fallback, name)
+			}
+		}
 	}
 	if *circuitFlag != "" {
 		for _, pc := range harness.PaperCircuits {

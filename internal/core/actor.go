@@ -55,22 +55,34 @@ type actorRun struct {
 func (a *actorRun) halt() { a.stopOnce.Do(func() { close(a.stop) }) }
 
 func (e *actorEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
-	return e.run(nil, c, stim)
+	res, _, err := e.run(nil, c, stim, nil, false)
+	return res, err
 }
 
 // RunContext runs the simulation under ctx: on cancellation every actor
 // exits at its next mailbox operation and the context's cause is
 // returned.
 func (e *actorEngine) RunContext(ctx context.Context, c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
-	return e.run(ctx, c, stim)
+	res, _, err := e.run(ctx, c, stim, nil, false)
+	return res, err
 }
 
-func (e *actorEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
+// RunFrom implements Checkpointer: settle-boundary segments, snapshots
+// into store, resume from the latest one.
+func (e *actorEngine) RunFrom(ctx context.Context, c *circuit.Circuit, stim *circuit.Stimulus, store *CheckpointStore) (*Result, error) {
+	return runSegmented(ctx, e, c, stim, e.opts.CheckpointEvery, store,
+		func(sctx context.Context, seg *circuit.Stimulus, rs *ResumeState) (*Result, ResumeState, error) {
+			return e.run(sctx, c, seg, rs, true)
+		})
+}
+
+func (e *actorEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.Stimulus, rs *ResumeState, capture bool) (*Result, ResumeState, error) {
 	start := time.Now()
 	s, err := newSimState(c, stim, e.opts)
 	if err != nil {
-		return nil, err
+		return nil, ResumeState{}, err
 	}
+	s.seedResume(rs)
 	record := !e.opts.DiscardOutputs
 
 	boxes := make([]chan actorMsg, len(s.nodes))
@@ -140,13 +152,17 @@ flood:
 	wg.Wait()
 
 	if ee := a.failure.Load(); ee != nil {
-		return nil, ee
+		return nil, ResumeState{}, ee
 	}
 	if ctx != nil && ctx.Err() != nil {
-		return nil, context.Cause(ctx)
+		return nil, ResumeState{}, context.Cause(ctx)
 	}
 	if bad := s.checkAllNullSent(); bad >= 0 {
-		return nil, fmt.Errorf("core: actor simulation ended with node %d not terminated", bad)
+		return nil, ResumeState{}, fmt.Errorf("core: actor simulation ended with node %d not terminated", bad)
+	}
+	var final ResumeState
+	if capture {
+		final = s.captureResume()
 	}
 	workers := e.opts.Workers
 	if workers <= 0 {
@@ -161,7 +177,7 @@ flood:
 		Outputs:     s.outputs(),
 	}
 	res.FillMetrics(e.opts)
-	return res, nil
+	return res, final, nil
 }
 
 // runActor is one node's message loop: absorb mailbox messages, process
@@ -169,6 +185,7 @@ flood:
 // run is stopped).
 func (e *actorEngine) runActor(s *simState, ns *nodeState, boxes []chan actorMsg, stop <-chan struct{}, record bool) {
 	box := boxes[ns.id]
+	chaos := e.opts.Chaos
 	var buf []portEvent
 	for !ns.nullSent {
 		// Block for one message, then drain whatever else is queued so
@@ -178,6 +195,11 @@ func (e *actorEngine) runActor(s *simState, ns *nodeState, boxes []chan actorMsg
 		case msg = <-box:
 		case <-stop:
 			return
+		}
+		if chaos != nil && chaos.Task != nil {
+			// A panic here is contained by this actor's recover and halts
+			// the run with a FailPanic naming the node.
+			chaos.Task(int(ns.id))
 		}
 		for {
 			if msg.null {

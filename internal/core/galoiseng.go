@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -52,14 +53,32 @@ func (e *galoisEngine) Name() string {
 }
 
 func (e *galoisEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
+	res, _, err := e.runSeg(c, stim, nil, false)
+	return res, err
+}
+
+// RunFrom implements Checkpointer: settle-boundary segments, snapshots
+// into store, resume from the latest one.
+func (e *galoisEngine) RunFrom(ctx context.Context, c *circuit.Circuit, stim *circuit.Stimulus, store *CheckpointStore) (*Result, error) {
+	return runSegmented(ctx, e, c, stim, e.opts.CheckpointEvery, store,
+		func(_ context.Context, seg *circuit.Stimulus, rs *ResumeState) (*Result, ResumeState, error) {
+			return e.runSeg(c, seg, rs, true)
+		})
+}
+
+func (e *galoisEngine) runSeg(c *circuit.Circuit, stim *circuit.Stimulus, rs *ResumeState, capture bool) (*Result, ResumeState, error) {
 	start := time.Now()
 	s, err := newSimState(c, stim, e.opts)
 	if err != nil {
-		return nil, err
+		return nil, ResumeState{}, err
 	}
+	s.seedResume(rs)
 	record := !e.opts.DiscardOutputs
 	rt := galois.New(e.opts.workers())
 	rt.SetTrace(e.opts.Trace)
+	if ch := e.opts.Chaos; ch != nil {
+		rt.SetTaskHook(ch.Task)
+	}
 	before := rt.Stats()
 
 	initial := make([]int32, len(c.Inputs))
@@ -123,7 +142,11 @@ func (e *galoisEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result,
 	galois.ForEach(rt, initial, body)
 
 	if bad := s.checkAllNullSent(); bad >= 0 {
-		return nil, fmt.Errorf("core: galois simulation ended with node %d not terminated", bad)
+		return nil, ResumeState{}, fmt.Errorf("core: galois simulation ended with node %d not terminated", bad)
+	}
+	var final ResumeState
+	if capture {
+		final = s.captureResume()
 	}
 	s.release()
 	res := &Result{
@@ -136,7 +159,7 @@ func (e *galoisEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result,
 		Galois:      statsDelta(rt.Stats(), before),
 	}
 	res.FillMetrics(e.opts)
-	return res, nil
+	return res, final, nil
 }
 
 func statsDelta(now, before galois.StatsSnapshot) galois.StatsSnapshot {

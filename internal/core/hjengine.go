@@ -120,7 +120,8 @@ type hjRun struct {
 }
 
 func (e *hjEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
-	return e.run(nil, c, stim)
+	res, _, err := e.run(nil, c, stim, nil, false)
+	return res, err
 }
 
 // RunContext runs the simulation under ctx: on cancellation the hj
@@ -128,15 +129,26 @@ func (e *hjEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, err
 // cause is returned. A panic inside a task becomes an *EngineError naming
 // the worker instead of crashing the process.
 func (e *hjEngine) RunContext(ctx context.Context, c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
-	return e.run(ctx, c, stim)
+	res, _, err := e.run(ctx, c, stim, nil, false)
+	return res, err
 }
 
-func (e *hjEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
+// RunFrom implements Checkpointer: settle-boundary segments, snapshots
+// into store, resume from the latest one.
+func (e *hjEngine) RunFrom(ctx context.Context, c *circuit.Circuit, stim *circuit.Stimulus, store *CheckpointStore) (*Result, error) {
+	return runSegmented(ctx, e, c, stim, e.opts.CheckpointEvery, store,
+		func(sctx context.Context, seg *circuit.Stimulus, rs *ResumeState) (*Result, ResumeState, error) {
+			return e.run(sctx, c, seg, rs, true)
+		})
+}
+
+func (e *hjEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.Stimulus, rs *ResumeState, capture bool) (*Result, ResumeState, error) {
 	start := time.Now()
 	s, err := newSimState(c, stim, e.opts)
 	if err != nil {
-		return nil, err
+		return nil, ResumeState{}, err
 	}
+	s.seedResume(rs)
 	if !e.opts.GlobalIsolated {
 		s.initLocks(e.opts.PerNodeLocks, e.opts.MutexLocks)
 	}
@@ -147,6 +159,10 @@ func (e *hjEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.St
 	cfg := hj.Config{Workers: e.opts.workers(), Trace: e.opts.Trace}
 	if e.opts.SingleSteal {
 		cfg.StealMax = 1
+	}
+	if ch := e.opts.Chaos; ch != nil {
+		cfg.TaskHook = ch.Task
+		cfg.WakeHook = ch.Wake
 	}
 	rt := hj.NewRuntime(cfg)
 	defer rt.Shutdown()
@@ -190,19 +206,23 @@ func (e *hjEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.St
 	if err := rt.Err(); err != nil {
 		var tp *hj.TaskPanic
 		if errors.As(err, &tp) {
-			return nil, &EngineError{
+			return nil, ResumeState{}, &EngineError{
 				Engine: e.name, Unit: fmt.Sprintf("worker %d", tp.Worker),
 				Reason: FailPanic, Value: tp.Value, Stack: tp.Stack, Err: tp,
 			}
 		}
 		if ctx != nil && ctx.Err() != nil {
-			return nil, context.Cause(ctx)
+			return nil, ResumeState{}, context.Cause(ctx)
 		}
-		return nil, err
+		return nil, ResumeState{}, err
 	}
 
 	if bad := s.checkAllNullSent(); bad >= 0 {
-		return nil, fmt.Errorf("core: hj simulation ended with node %d not terminated", bad)
+		return nil, ResumeState{}, fmt.Errorf("core: hj simulation ended with node %d not terminated", bad)
+	}
+	var final ResumeState
+	if capture {
+		final = s.captureResume()
 	}
 	// Clean completion: every task has run to completion inside Finish,
 	// so nothing can touch the event rings anymore.
@@ -217,7 +237,7 @@ func (e *hjEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.St
 		HJ:          rt.Stats().Sub(before),
 	}
 	res.FillMetrics(e.opts)
-	return res, nil
+	return res, final, nil
 }
 
 // buildPlans computes every node's ordered lock set and wake list. It is

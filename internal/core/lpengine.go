@@ -69,22 +69,37 @@ func (e *lpEngine) partitions() int {
 }
 
 func (e *lpEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
-	return e.run(nil, c, stim)
+	res, _, err := e.run(nil, c, stim, nil, false)
+	return res, err
 }
 
 // RunContext runs the simulation under ctx: on cancellation every LP
 // unwinds at its next blocking point and the context's cause is returned.
 func (e *lpEngine) RunContext(ctx context.Context, c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
-	return e.run(ctx, c, stim)
+	res, _, err := e.run(ctx, c, stim, nil, false)
+	return res, err
 }
 
-func (e *lpEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
+// RunFrom implements Checkpointer. These settle-boundary snapshots are a
+// second, engine-agnostic checkpoint layer above lp's own in-run
+// crash-point checkpoints (§9): each segment runs the full CMB protocol
+// to NULL(∞) termination, so the saved state is trivially crash-consistent
+// (no inbox or channel state exists at a segment boundary), and a resume
+// may hand the state to a different engine family entirely.
+func (e *lpEngine) RunFrom(ctx context.Context, c *circuit.Circuit, stim *circuit.Stimulus, store *CheckpointStore) (*Result, error) {
+	return runSegmented(ctx, e, c, stim, e.opts.CheckpointEvery, store,
+		func(sctx context.Context, seg *circuit.Stimulus, rs *ResumeState) (*Result, ResumeState, error) {
+			return e.run(sctx, c, seg, rs, true)
+		})
+}
+
+func (e *lpEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.Stimulus, rs *ResumeState, capture bool) (*Result, ResumeState, error) {
 	start := time.Now()
 	plan, err := partition.Partition(c, e.partitions())
 	if err != nil {
-		return nil, err
+		return nil, ResumeState{}, err
 	}
-	res, err := lp.Run(c, stim, plan, lp.Config{
+	cfg := lp.Config{
 		Record:         !e.opts.DiscardOutputs,
 		Paranoid:       e.opts.Paranoid,
 		InboxCap:       e.opts.LPInboxCap,
@@ -93,16 +108,21 @@ func (e *lpEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.St
 		Probe:          &e.probe,
 		Trace:          e.opts.Trace,
 		Metrics:        e.opts.Metrics,
-	})
+		CaptureFinal:   capture,
+	}
+	if rs != nil {
+		cfg.InitVals = rs.InVal
+	}
+	res, err := lp.Run(c, stim, plan, cfg)
 	if err != nil {
 		var pe *lp.PanicError
 		if errors.As(err, &pe) {
-			return nil, &EngineError{
+			return nil, ResumeState{}, &EngineError{
 				Engine: e.Name(), Unit: fmt.Sprintf("lp %d", pe.LP),
 				Reason: FailPanic, Value: pe.Value, Stack: pe.Stack, Err: pe,
 			}
 		}
-		return nil, err
+		return nil, ResumeState{}, err
 	}
 	outputs := make(map[string][]TimedValue, len(res.Outputs))
 	for name, h := range res.Outputs {
@@ -122,5 +142,5 @@ func (e *lpEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.St
 		LP:          res.Stats,
 	}
 	out.FillMetrics(e.opts)
-	return out, nil
+	return out, ResumeState{InVal: res.FinalVals}, nil
 }

@@ -100,6 +100,45 @@ type Options struct {
 	// (failure diagnostics); the stall watchdog appends the tail to every
 	// EngineError diag dump. Nil costs the hot paths one branch.
 	Trace *obs.Recorder
+
+	// CheckpointEvery is the snapshot cadence for checkpointed runs
+	// (Supervise with a CheckpointStore, or Resilient with
+	// CheckpointEvery > 0): a crash-consistent snapshot is saved at every
+	// CheckpointEvery-th safe settle boundary of the stimulus. 1 saves at
+	// every boundary; 0 leaves the engine's default (every boundary when
+	// a store is supplied). Runs without a store never segment.
+	CheckpointEvery int
+
+	// Chaos, when non-nil, injects scheduler-level faults into the
+	// parallel runtimes: Task fires before each task/LP body (may panic),
+	// Wake may drop or delay a worker wakeup, Rollback may force a Time
+	// Warp node to roll back. Wired by internal/chaos.SchedInjector; nil
+	// costs the hot paths one branch.
+	Chaos *ChaosHooks
+}
+
+// ChaosHooks are the scheduler-level fault-injection points the engines
+// honor. All hooks must be safe for concurrent use and deterministic for
+// a fixed seed (internal/chaos derives every decision from a hash of the
+// seed and a per-hook call counter, never from shared RNG state). Any
+// field may be nil.
+type ChaosHooks struct {
+	// Task runs before a task/actor/LP body with the executing unit's id
+	// (worker id for hj/galois, node id for actor/timewarp, 0 for seq).
+	// A panic here is contained by the engine's normal panic path and
+	// surfaces as a retryable FailPanic EngineError.
+	Task func(unit int)
+	// Wake intercepts a single-worker wakeup (hj wakeOne). Returning
+	// false swallows the wake token — a lost wake. The hook may also
+	// sleep briefly before returning true — a delayed wakeup.
+	// Cancellation broadcasts (wakeAll) never consult it, so a chaotic
+	// run can always be stopped.
+	Wake func() bool
+	// Rollback, when it returns true, forces the Time Warp node to roll
+	// back half its processed history in the given round (a rollback
+	// storm). Semantics-preserving: anti-messages and re-execution make
+	// the final state identical.
+	Rollback func(node int32, round int) bool
 }
 
 func (o Options) workers() int {

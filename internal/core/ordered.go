@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -37,14 +38,32 @@ type orderedItem struct {
 }
 
 func (e *orderedEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
+	res, _, err := e.runSeg(c, stim, nil, false)
+	return res, err
+}
+
+// RunFrom implements Checkpointer: settle-boundary segments, snapshots
+// into store, resume from the latest one.
+func (e *orderedEngine) RunFrom(ctx context.Context, c *circuit.Circuit, stim *circuit.Stimulus, store *CheckpointStore) (*Result, error) {
+	return runSegmented(ctx, e, c, stim, e.opts.CheckpointEvery, store,
+		func(_ context.Context, seg *circuit.Stimulus, rs *ResumeState) (*Result, ResumeState, error) {
+			return e.runSeg(c, seg, rs, true)
+		})
+}
+
+func (e *orderedEngine) runSeg(c *circuit.Circuit, stim *circuit.Stimulus, rs *ResumeState, capture bool) (*Result, ResumeState, error) {
 	start := time.Now()
 	s, err := newSimState(c, stim, e.opts)
 	if err != nil {
-		return nil, err
+		return nil, ResumeState{}, err
 	}
+	s.seedResume(rs)
 	record := !e.opts.DiscardOutputs
 	rt := galois.New(e.opts.workers())
 	rt.SetTrace(e.opts.Trace)
+	if ch := e.opts.Chaos; ch != nil {
+		rt.SetTaskHook(ch.Task)
+	}
 	before := rt.Stats()
 
 	// Setup: flood every input terminal's events directly (the ordered
@@ -116,11 +135,15 @@ func (e *orderedEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result
 		}
 		for p := range ns.ports {
 			if !ns.ports[p].q.Empty() {
-				return nil, fmt.Errorf("core: ordered run left events at node %d port %d", ns.id, p)
+				return nil, ResumeState{}, fmt.Errorf("core: ordered run left events at node %d port %d", ns.id, p)
 			}
 			ns.ports[p].clock = TimeInfinity
 		}
 		ns.nullSent = true
+	}
+	var final ResumeState
+	if capture {
+		final = s.captureResume()
 	}
 	res := &Result{
 		Engine:      "galois-ordered",
@@ -132,5 +155,5 @@ func (e *orderedEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result
 		Galois:      statsDelta(rt.Stats(), before),
 	}
 	res.FillMetrics(e.opts)
-	return res, nil
+	return res, final, nil
 }

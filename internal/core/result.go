@@ -19,6 +19,12 @@ type Result struct {
 	Elapsed     time.Duration // wall time of the whole run
 	Outputs     map[string][]TimedValue
 
+	// Attempts is how many supervised attempts the run took (1 = clean
+	// first try); Degraded reports that a fallback engine, not the one
+	// originally requested, produced the result. Set by core.Resilient.
+	Attempts int
+	Degraded bool
+
 	HJ       hj.StatsSnapshot     // populated by the HJ engine
 	Galois   galois.StatsSnapshot // populated by the Galois engine
 	TimeWarp TWStats              // populated by the Time Warp engine

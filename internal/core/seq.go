@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -35,12 +36,33 @@ func NewSequentialPQ(opts Options) Engine {
 func (e *seqEngine) Name() string { return e.name }
 
 func (e *seqEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
+	res, _, err := e.runSeg(c, stim, nil, false)
+	return res, err
+}
+
+// RunFrom implements Checkpointer: the run is cut at settle boundaries,
+// each segment saved into store, and a pre-populated store resumes from
+// its latest snapshot.
+func (e *seqEngine) RunFrom(ctx context.Context, c *circuit.Circuit, stim *circuit.Stimulus, store *CheckpointStore) (*Result, error) {
+	return runSegmented(ctx, e, c, stim, e.opts.CheckpointEvery, store,
+		func(_ context.Context, seg *circuit.Stimulus, rs *ResumeState) (*Result, ResumeState, error) {
+			return e.runSeg(c, seg, rs, true)
+		})
+}
+
+// runSeg runs one stimulus segment (the whole stimulus for a plain Run)
+// to Chandy–Misra termination. rs seeds the wire state left by the
+// previous segment; capture extracts the state for the next one (skipped
+// on plain runs so the clean path stays allocation-identical).
+func (e *seqEngine) runSeg(c *circuit.Circuit, stim *circuit.Stimulus, rs *ResumeState, capture bool) (*Result, ResumeState, error) {
 	start := time.Now()
 	s, err := newSimState(c, stim, e.opts)
 	if err != nil {
-		return nil, err
+		return nil, ResumeState{}, err
 	}
+	s.seedResume(rs)
 	record := !e.opts.DiscardOutputs
+	chaos := e.opts.Chaos
 
 	// WS <- I (the input nodes); inWS deduplicates workset membership.
 	var ws queue.Deque[int32]
@@ -60,6 +82,9 @@ func (e *seqEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, er
 		if !ok {
 			break
 		}
+		if chaos != nil && chaos.Task != nil {
+			chaos.Task(0)
+		}
 		inWS[n] = false
 		ns := &s.nodes[n]
 		buf = s.simulate(ns, buf[:0], record)
@@ -77,7 +102,11 @@ func (e *seqEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, er
 	}
 
 	if bad := s.checkAllNullSent(); bad >= 0 {
-		return nil, fmt.Errorf("core: simulation ended with node %d not terminated", bad)
+		return nil, ResumeState{}, fmt.Errorf("core: simulation ended with node %d not terminated", bad)
+	}
+	var final ResumeState
+	if capture {
+		final = s.captureResume()
 	}
 	s.release()
 	res := &Result{
@@ -89,7 +118,7 @@ func (e *seqEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, er
 		Outputs:     s.outputs(),
 	}
 	res.FillMetrics(e.opts)
-	return res, nil
+	return res, final, nil
 }
 
 // simulate is the SIMULATE(n) routine shared by the sequential engines:

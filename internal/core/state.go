@@ -288,6 +288,29 @@ func (ns *nodeState) inputOutgoing() []Event {
 	return evs
 }
 
+// seedResume restores a settle-boundary checkpoint's wire state: every
+// node's per-port current values. Port clocks stay at clockUnset and no
+// events are queued — a settle boundary is quiescent, so the wire values
+// plus the remaining stimulus are the whole state.
+func (s *simState) seedResume(rs *ResumeState) {
+	if rs == nil || len(rs.InVal) != len(s.nodes) {
+		return
+	}
+	for i := range s.nodes {
+		s.nodes[i].inVal = rs.InVal[i]
+	}
+}
+
+// captureResume copies out the settled wire state at the end of a fully
+// terminated run, for the next segment's seedResume.
+func (s *simState) captureResume() ResumeState {
+	rs := ResumeState{InVal: make([][2]circuit.Value, len(s.nodes))}
+	for i := range s.nodes {
+		rs.InVal[i] = s.nodes[i].inVal
+	}
+	return rs
+}
+
 // eventArena recycles the per-port event deque rings across runs
 // (process-wide, sync.Pool-backed), so repeated simulations reach a
 // steady state with no per-event heap allocation.

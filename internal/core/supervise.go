@@ -50,6 +50,38 @@ func (e *EngineError) Error() string {
 
 func (e *EngineError) Unwrap() error { return e.Err }
 
+// Is lets errors.Is classify supervised failures against the standard
+// context sentinels without string matching: a FailTimeout matches
+// context.DeadlineExceeded and a FailCancel matches context.Canceled,
+// even when the underlying Err chain was lost in transport (e.g. a panic
+// value stringified by an engine boundary).
+func (e *EngineError) Is(target error) bool {
+	switch target {
+	case context.DeadlineExceeded:
+		return e.Reason == FailTimeout
+	case context.Canceled:
+		return e.Reason == FailCancel
+	}
+	return false
+}
+
+// Retryable classifies a supervised failure: panics (including injected
+// chaos faults), timeouts and stalls are transient — another attempt,
+// possibly resumed from a checkpoint or on a fallback engine, can
+// succeed. Cancellation (the caller gave up) and engine-protocol errors
+// (bad stimulus, mismatched checkpoint) are fatal.
+func Retryable(err error) bool {
+	var ee *EngineError
+	if !errors.As(err, &ee) {
+		return false
+	}
+	switch ee.Reason {
+	case FailPanic, FailTimeout, FailStall:
+		return true
+	}
+	return false
+}
+
 // ContextEngine is implemented by engines whose Run can be canceled: when
 // ctx is done, RunContext stops the run promptly, releases its worker
 // goroutines and returns context.Cause(ctx) (possibly wrapped). Engines
@@ -99,6 +131,12 @@ type SuperviseConfig struct {
 	// Poll is the watchdog sampling interval; 0 derives it from
 	// StallTimeout.
 	Poll time.Duration
+	// Checkpoints, when non-nil and the engine is a Checkpointer, routes
+	// the run through RunFrom: the engine saves crash-consistent
+	// snapshots into the store and — when the store already holds one
+	// from an earlier failed attempt — resumes from it instead of
+	// restarting from time zero.
+	Checkpoints *CheckpointStore
 }
 
 // stallCause marks a context canceled by the watchdog, carrying the
@@ -132,6 +170,10 @@ func Supervise(ctx context.Context, e Engine, c *circuit.Circuit, stim *circuit.
 		err error
 	}
 	resCh := make(chan outcome, 1)
+	cp, checkpointed := e.(Checkpointer)
+	if cfg.Checkpoints == nil {
+		checkpointed = false
+	}
 	ce, cancelable := e.(ContextEngine)
 	go func() {
 		defer func() {
@@ -142,9 +184,12 @@ func Supervise(ctx context.Context, e Engine, c *circuit.Circuit, stim *circuit.
 			}
 		}()
 		var o outcome
-		if cancelable {
+		switch {
+		case checkpointed:
+			o.res, o.err = cp.RunFrom(ctx, c, stim, cfg.Checkpoints)
+		case cancelable:
 			o.res, o.err = ce.RunContext(ctx, c, stim)
-		} else {
+		default:
 			o.res, o.err = e.Run(c, stim)
 		}
 		resCh <- o

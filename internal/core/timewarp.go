@@ -144,10 +144,16 @@ type twRun struct {
 	nodes  []twNode
 	window int64
 	record bool
+	hooks  *ChaosHooks // scheduler-level fault injection; may be nil
+	// roundNo is the current BSP round, written by the driver between
+	// rounds (the Finish hand-off orders the write before every node
+	// step) and read by the chaos rollback hook.
+	roundNo int
 }
 
 func (e *twEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
-	return e.run(nil, c, stim)
+	res, _, err := e.run(nil, c, stim, nil, false)
+	return res, err
 }
 
 // RunContext runs the simulation under ctx, checked at every BSP barrier:
@@ -155,15 +161,27 @@ func (e *twEngine) Run(c *circuit.Circuit, stim *circuit.Stimulus) (*Result, err
 // parallel) and the context's cause is returned. A panic inside a
 // parallel round becomes an *EngineError naming the worker.
 func (e *twEngine) RunContext(ctx context.Context, c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
-	return e.run(ctx, c, stim)
+	res, _, err := e.run(ctx, c, stim, nil, false)
+	return res, err
 }
 
-func (e *twEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
+// RunFrom implements Checkpointer. Time Warp's snapshots are taken at
+// settle boundaries, which coincide with GVT = ∞ for the segment: every
+// log entry has been fossil-collected, so the saved wire state is fully
+// committed — never speculative.
+func (e *twEngine) RunFrom(ctx context.Context, c *circuit.Circuit, stim *circuit.Stimulus, store *CheckpointStore) (*Result, error) {
+	return runSegmented(ctx, e, c, stim, e.opts.CheckpointEvery, store,
+		func(sctx context.Context, seg *circuit.Stimulus, rs *ResumeState) (*Result, ResumeState, error) {
+			return e.run(sctx, c, seg, rs, true)
+		})
+}
+
+func (e *twEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.Stimulus, rs *ResumeState, capture bool) (*Result, ResumeState, error) {
 	start := time.Now()
 	if err := stim.Validate(c); err != nil {
-		return nil, err
+		return nil, ResumeState{}, err
 	}
-	r := &twRun{window: e.opts.TimeWarpWindow, record: !e.opts.DiscardOutputs}
+	r := &twRun{window: e.opts.TimeWarpWindow, record: !e.opts.DiscardOutputs, hooks: e.opts.Chaos}
 	r.nodes = make([]twNode, len(c.Nodes))
 	for i := range c.Nodes {
 		cn := &c.Nodes[i]
@@ -191,6 +209,11 @@ func (e *twEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.St
 	}
 	for i, id := range c.Inputs {
 		r.nodes[id].transitions = stim.ByInput[i]
+	}
+	if rs != nil && len(rs.InVal) == len(r.nodes) {
+		for i := range r.nodes {
+			r.nodes[i].inVal = rs.InVal[i]
+		}
 	}
 
 	var rt *hj.Runtime
@@ -237,8 +260,9 @@ func (e *twEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.St
 	n := len(r.nodes)
 	for {
 		if ctx != nil && ctx.Err() != nil {
-			return nil, context.Cause(ctx)
+			return nil, ResumeState{}, context.Cause(ctx)
 		}
+		r.roundNo = stats.Rounds
 		// Swap banks: this round absorbs from `bank`, writes to 1-bank.
 		read, write := bank, 1-bank
 		step := func(i int) { r.nodes[i].round(r, read, write) }
@@ -249,15 +273,15 @@ func (e *twEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.St
 			if err := rt.Err(); err != nil {
 				var tp *hj.TaskPanic
 				if errors.As(err, &tp) {
-					return nil, &EngineError{
+					return nil, ResumeState{}, &EngineError{
 						Engine: e.name, Unit: fmt.Sprintf("worker %d", tp.Worker),
 						Reason: FailPanic, Value: tp.Value, Stack: tp.Stack, Err: tp,
 					}
 				}
 				if ctx != nil && ctx.Err() != nil {
-					return nil, context.Cause(ctx)
+					return nil, ResumeState{}, context.Cause(ctx)
 				}
-				return nil, err
+				return nil, ResumeState{}, err
 			}
 		} else {
 			for i := 0; i < n; i++ {
@@ -332,13 +356,22 @@ func (e *twEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.St
 	for _, id := range c.Outputs {
 		res.Outputs[c.Nodes[id].Name] = r.nodes[id].history
 	}
+	var final ResumeState
+	if capture {
+		// Every log entry was just fossil-collected (GVT = ∞): inVal is
+		// the committed settled wire state.
+		final = ResumeState{InVal: make([][2]circuit.Value, len(r.nodes))}
+		for i := range r.nodes {
+			final.InVal[i] = r.nodes[i].inVal
+		}
+	}
 	res.TimeWarp = stats
 	if rt != nil {
 		res.HJ = rt.Stats()
 	}
 	res.FillMetrics(e.opts)
 	res.Elapsed = time.Since(start)
-	return res, nil
+	return res, final, nil
 }
 
 // emit appends an event to the node's outbox bank for the given fanout
@@ -362,6 +395,11 @@ func (n *twNode) emitAnti(bank int, s twSend) {
 // (handling stragglers and anti-messages with rollbacks), then process
 // optimistically into the write bank.
 func (n *twNode) round(r *twRun, read, write int) {
+	if h := r.hooks; h != nil && h.Task != nil {
+		// Contained by the hj worker's recover in parallel runs, by the
+		// supervisor's in sequential ones.
+		h.Task(int(n.id))
+	}
 	// Absorb.
 	for _, ie := range n.inEdge {
 		src := &r.nodes[ie.src]
@@ -376,6 +414,13 @@ func (n *twNode) round(r *twRun, read, write int) {
 			}
 			n.inputQ.Push(ev)
 		}
+	}
+	// Injected rollback storm: undo the newer half of the processed log
+	// as if a straggler had arrived. Semantics-preserving — the undone
+	// events re-queue, anti-messages cancel their emissions downstream,
+	// and re-execution reconverges — so chaotic runs stay bit-exact.
+	if h := r.hooks; h != nil && h.Rollback != nil && len(n.log) > 1 && h.Rollback(n.id, r.roundNo) {
+		n.rollbackBefore(r, write, n.log[len(n.log)/2].ev.Time, -1)
 	}
 	// Process optimistically up to the window horizon.
 	horizon := TimeInfinity

@@ -80,9 +80,10 @@ func (s StatsSnapshot) MetricsInto(m obs.Metrics) {
 // Runtime configures Galois-style execution. It is stateless between
 // ForEach calls apart from the accumulated Stats.
 type Runtime struct {
-	workers int
-	stats   Stats
-	trace   *obs.Recorder // nil when tracing is off
+	workers  int
+	stats    Stats
+	trace    *obs.Recorder    // nil when tracing is off
+	taskHook func(worker int) // chaos: runs before each activity attempt
 }
 
 // New returns a runtime that executes activities on the given number of
@@ -102,6 +103,13 @@ func (rt *Runtime) NumWorkers() int { return rt.workers }
 // one ForEach may run at a time on a traced runtime (the rings are
 // single-writer).
 func (rt *Runtime) SetTrace(rec *obs.Recorder) { rt.trace = rec }
+
+// SetTaskHook attaches a scheduler-level fault-injection hook that runs
+// before every activity attempt with the executing worker's index. A
+// panic inside the hook propagates like a panic in the activity body
+// (first one wins, workers drain, ForEach re-panics on the caller). Nil
+// disables it.
+func (rt *Runtime) SetTaskHook(h func(worker int)) { rt.taskHook = h }
 
 // Stats returns a snapshot of the accumulated activity counters.
 func (rt *Runtime) Stats() StatsSnapshot {
@@ -249,6 +257,9 @@ func ForEach[T any](rt *Runtime, initial []T, body func(it *Iteration[T], item T
 					continue
 				}
 				idleSpins = 0
+				if h := rt.taskHook; h != nil {
+					h(w)
+				}
 				if runItem(rt, it, local, &pending, body, item) {
 					// Committed: publish produced items eagerly so idle
 					// workers can start on them.

@@ -13,7 +13,9 @@ import (
 //
 //	v1 (implicit, schema field absent): timing + alloc + lp message fields
 //	v2: adds "schema" and the uniform per-engine "metrics" map
-const BenchSchema = 2
+//	v3: adds "attempts"/"degraded" (resilient envelope); resilient.* and
+//	    checkpoint.* counters appear in "metrics" when non-clean
+const BenchSchema = 3
 
 // BenchRecord is one machine-readable benchmark measurement, the unit of
 // the repository's performance trajectory (`paperbench -json`, appended
@@ -36,6 +38,8 @@ type BenchRecord struct {
 	EventMsgs   int64       `json:"event_msgs,omitempty"`
 	NullMsgs    int64       `json:"null_msgs,omitempty"`
 	NMR         float64     `json:"nmr,omitempty"`
+	Attempts    int         `json:"attempts,omitempty"`
+	Degraded    bool        `json:"degraded,omitempty"`
 	Metrics     obs.Metrics `json:"metrics,omitempty"`
 }
 
@@ -58,6 +62,12 @@ func record(circuit string, m *Measurement) BenchRecord {
 		r.NullMsgs = m.Best.LP.NullMsgs
 		r.NMR = m.Best.LP.NullRatio()
 	}
+	// attempts is only recorded when something non-clean happened, so
+	// clean trajectories stay byte-stable across schema v2→v3.
+	if m.Attempts > 1 || m.Degraded {
+		r.Attempts = m.Attempts
+		r.Degraded = m.Degraded
+	}
 	if m.Best != nil {
 		r.Metrics = m.Best.Metrics
 	}
@@ -69,18 +79,23 @@ func record(circuit string, m *Measurement) BenchRecord {
 // counts (the lp engine with one partition per worker). It returns one
 // record per configuration, in a deterministic order.
 func BenchSweep(cfg Config) ([]BenchRecord, error) {
+	// Every bench spec inherits the config's resilient envelope.
+	measure := func(spec Spec) (*Measurement, error) {
+		spec.Retries, spec.Fallback, spec.CheckpointEvery = cfg.Retries, cfg.Fallback, cfg.CheckpointEvery
+		return Measure(spec)
+	}
 	var records []BenchRecord
 	for _, pc := range cfg.circuits() {
 		c := pc.Build()
 		stim := cfg.stimulus(c, pc)
-		mSeq, err := Measure(Spec{Label: pc.Name + "/seq", Circuit: c, Stim: stim,
+		mSeq, err := measure(Spec{Label: pc.Name + "/seq", Circuit: c, Stim: stim,
 			Factory: seqFactory, Workers: 1, Repeats: cfg.repeats(), Timeout: cfg.Timeout})
 		if err != nil {
 			return nil, err
 		}
 		records = append(records, record(pc.Name, mSeq))
 		for _, w := range cfg.workerCounts() {
-			mHJ, err := Measure(Spec{Label: fmt.Sprintf("%s/hj/w%d", pc.Name, w), Circuit: c, Stim: stim,
+			mHJ, err := measure(Spec{Label: fmt.Sprintf("%s/hj/w%d", pc.Name, w), Circuit: c, Stim: stim,
 				Factory: hjFactory, Workers: w, Repeats: cfg.repeats(), Timeout: cfg.Timeout})
 			if err != nil {
 				return nil, err
@@ -88,7 +103,7 @@ func BenchSweep(cfg Config) ([]BenchRecord, error) {
 			records = append(records, record(pc.Name, mHJ))
 			if cfg.HJAblations && w > 1 {
 				for _, abl := range []string{"hj-noaff", "hj-steal1"} {
-					mA, err := Measure(Spec{Label: fmt.Sprintf("%s/%s/w%d", pc.Name, abl, w), Circuit: c, Stim: stim,
+					mA, err := measure(Spec{Label: fmt.Sprintf("%s/%s/w%d", pc.Name, abl, w), Circuit: c, Stim: stim,
 						Factory: factory(abl, core.Options{}), Workers: w, Repeats: cfg.repeats(), Timeout: cfg.Timeout})
 					if err != nil {
 						return nil, err
@@ -96,7 +111,7 @@ func BenchSweep(cfg Config) ([]BenchRecord, error) {
 					records = append(records, record(pc.Name, mA))
 				}
 			}
-			mLP, err := Measure(Spec{Label: fmt.Sprintf("%s/lp/w%d", pc.Name, w), Circuit: c, Stim: stim,
+			mLP, err := measure(Spec{Label: fmt.Sprintf("%s/lp/w%d", pc.Name, w), Circuit: c, Stim: stim,
 				Factory: factory("lp", core.Options{Partitions: w}), Workers: w,
 				Repeats: cfg.repeats(), Timeout: cfg.Timeout})
 			if err != nil {

@@ -38,6 +38,14 @@ type Config struct {
 	// locality-aware wakeups; hj-steal1: single-task steal instead of
 	// steal-half) to the bench sweep at every worker count above one.
 	HJAblations bool
+	// Retries, Fallback and CheckpointEvery configure the resilient
+	// envelope for every measured run (see Spec); all zero means
+	// fail-fast. Degraded or retried measurements are flagged in the
+	// bench records so a trajectory point that survived faults is never
+	// mistaken for a clean one.
+	Retries         int
+	Fallback        []string
+	CheckpointEvery int
 }
 
 func (cfg Config) circuits() []PaperCircuit {

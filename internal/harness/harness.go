@@ -35,6 +35,23 @@ type Spec struct {
 	// engine fails the measurement with a structured error instead of
 	// hanging the whole suite.
 	Timeout time.Duration
+	// Retries, Fallback and CheckpointEvery configure the resilient
+	// envelope (core.Resilient) each run executes under. All zero means
+	// fail-fast, exactly the old supervised behavior.
+	Retries         int
+	Fallback        []string
+	CheckpointEvery int
+}
+
+// resilientOptions builds the option set Resilient uses to construct
+// fallback engines for this spec.
+func (s Spec) resilientOptions() core.Options {
+	return core.Options{
+		Workers:         s.Workers,
+		Partitions:      s.Workers,
+		DiscardOutputs:  true,
+		CheckpointEvery: s.CheckpointEvery,
+	}
 }
 
 // Measurement is the repeated-run summary of one Spec.
@@ -49,6 +66,11 @@ type Measurement struct {
 	// notion of allocs/op, measured with runtime.MemStats deltas).
 	AllocsPerOp uint64
 	BytesPerOp  uint64
+	// Attempts is the worst (maximum) attempt count any repeat needed;
+	// Degraded reports whether any repeat finished on a fallback engine.
+	// Clean measurements read 1/false.
+	Attempts int
+	Degraded bool
 	// Best is the full result of the fastest run, for engine-specific
 	// statistics (null-message ratio, scheduler counters) next to the
 	// timing summary.
@@ -57,9 +79,10 @@ type Measurement struct {
 
 // Measure runs the spec Repeats times and collects timing statistics.
 // Output recording is disabled during measurement; a RunAndVerify pass
-// belongs in the tests, not the timed loop. Runs are supervised: a panic
-// inside an engine fails the measurement with a structured error, and
-// Spec.Timeout bounds each run.
+// belongs in the tests, not the timed loop. Runs execute under the
+// resilient envelope: a panic inside an engine fails the measurement with
+// a structured error (or, with Spec.Retries/Fallback set, is retried and
+// degraded through the fallback chain), and Spec.Timeout bounds each run.
 func Measure(spec Spec) (*Measurement, error) {
 	repeats := spec.Repeats
 	if repeats <= 0 {
@@ -67,10 +90,17 @@ func Measure(spec Spec) (*Measurement, error) {
 	}
 	eng := spec.Factory(spec.Workers)
 	m := &Measurement{
-		Label:   spec.Label,
-		Engine:  eng.Name(),
-		Workers: spec.Workers,
-		Times:   stats.New(),
+		Label:    spec.Label,
+		Engine:   eng.Name(),
+		Workers:  spec.Workers,
+		Times:    stats.New(),
+		Attempts: 1,
+	}
+	rcfg := core.ResilientConfig{
+		Supervise: core.SuperviseConfig{Timeout: spec.Timeout},
+		Retry:     core.RetryPolicy{Retries: spec.Retries},
+		Fallback:  spec.Fallback,
+		Options:   spec.resilientOptions(),
 	}
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -79,14 +109,17 @@ func Measure(spec Spec) (*Measurement, error) {
 	var runErr error
 	obs.Labeled(context.Background(), m.Engine, spec.Label, func(ctx context.Context) {
 		for i := 0; i < repeats; i++ {
-			res, err := core.Supervise(ctx, eng, spec.Circuit, spec.Stim,
-				core.SuperviseConfig{Timeout: spec.Timeout})
+			res, err := core.Resilient(ctx, eng, spec.Circuit, spec.Stim, rcfg)
 			if err != nil {
 				runErr = fmt.Errorf("harness: %s run %d: %w", spec.Label, i, err)
 				return
 			}
 			m.Events = res.TotalEvents
 			m.Times.Add(res.Elapsed.Seconds())
+			if res.Attempts > m.Attempts {
+				m.Attempts = res.Attempts
+			}
+			m.Degraded = m.Degraded || res.Degraded
 			if m.Best == nil || res.Elapsed < m.Best.Elapsed {
 				m.Best = res
 			}

@@ -63,8 +63,15 @@ func (rt *Runtime) wakeWorker(w *worker) bool {
 // wakeOne wakes one parked worker, if any. The rotating start index
 // spreads wakeups across workers instead of hammering worker 0. The
 // idle-count fast path keeps the all-busy steady state down to a single
-// shared atomic load.
+// shared atomic load. The chaos wake hook (Config.WakeHook) may delay or
+// swallow the wake; a swallowed token is mostly harmless because parking
+// workers re-scan for visible work, and the residual stall window is the
+// supervisor watchdog's job — which is exactly what the hook exists to
+// exercise. wakeAll never consults it.
 func (rt *Runtime) wakeOne() {
+	if h := rt.wakeHook; h != nil && !h() {
+		return
+	}
 	if rt.idle.Load() == 0 {
 		return
 	}

@@ -79,6 +79,18 @@ type Config struct {
 	// ring shard = its worker id and records task spawns, steals and
 	// parks. Nil (the default) costs the hot paths one nil check.
 	Trace *obs.Recorder
+	// TaskHook, when non-nil, runs before every task body with the
+	// executing worker's id. It is the scheduler-level fault-injection
+	// point: a panic inside the hook is contained exactly like a panic in
+	// the task body (TaskPanic + cancellation). Must be safe for
+	// concurrent use. Nil costs the execute path one branch.
+	TaskHook func(worker int)
+	// WakeHook, when non-nil, intercepts single-worker wakeups (wakeOne):
+	// returning false swallows the wake token, and the hook may sleep to
+	// delay the wakeup. Cancellation/shutdown broadcasts (wakeAll) bypass
+	// it, so a chaotic runtime can always be stopped. Must be safe for
+	// concurrent use.
+	WakeHook func() bool
 }
 
 // defaultStealMax bounds one stealHalf round. Half the victim's queue is
@@ -111,6 +123,8 @@ type Runtime struct {
 
 	stealTries int
 	stealMax   int
+	taskHook   func(worker int)
+	wakeHook   func() bool
 
 	extSpawns atomic.Int64 // root tasks submitted via Runtime.Finish
 
@@ -239,6 +253,8 @@ func NewRuntime(cfg Config) *Runtime {
 	if rt.stealMax <= 0 {
 		rt.stealMax = defaultStealMax
 	}
+	rt.taskHook = cfg.TaskHook
+	rt.wakeHook = cfg.WakeHook
 	for i := 0; i < n; i++ {
 		w := &worker{
 			id:     i,
@@ -512,6 +528,9 @@ func (w *worker) runContained(t *task) {
 			w.rt.Cancel()
 		}
 	}()
+	if h := w.rt.taskHook; h != nil {
+		h(w.id)
+	}
 	if t.ifn != nil {
 		t.ifn(&w.ctx, t.idx)
 		return

@@ -126,6 +126,16 @@ type Config struct {
 	// the "lp.batch_size" histogram, observed per shipped batch on the
 	// sender's shard).
 	Metrics *obs.Registry
+	// InitVals, when its length matches the circuit's node count, seeds
+	// every node's per-port current values before the run: the
+	// engine-agnostic resume path for a run that continues from a settled
+	// checkpoint (the stimulus then carries only the remaining
+	// transitions). Port clocks and queues start fresh — a settled
+	// checkpoint is quiescent, so wire values are the whole state.
+	InitVals [][2]circuit.Value
+	// CaptureFinal copies every node's settled per-port values into
+	// Result.FinalVals after a clean termination, for checkpointing.
+	CaptureFinal bool
 }
 
 // DefaultInboxCap is the default per-LP inbox bound (in batches): small
@@ -215,6 +225,9 @@ type Result struct {
 	NodeEvents  []int64
 	Outputs     map[string][]TimedValue
 	Stats       Stats
+	// FinalVals holds every node's settled per-port values at
+	// termination; nil unless Config.CaptureFinal was set.
+	FinalVals [][2]circuit.Value
 }
 
 // MsgKind discriminates inter-LP messages.
@@ -557,6 +570,11 @@ func Run(c *circuit.Circuit, stim *circuit.Stimulus, plan *partition.Plan, cfg C
 	for i, id := range c.Inputs {
 		r.nodes[id].transitions = stim.ByInput[i]
 	}
+	if len(cfg.InitVals) == len(r.nodes) {
+		for i := range r.nodes {
+			r.nodes[i].inVal = cfg.InitVals[i]
+		}
+	}
 	// Owned nodes in topological order, for the lbOut relaxation: the
 	// global level order restricted to each partition is consistent with
 	// every intra-partition edge.
@@ -648,6 +666,12 @@ func Run(c *circuit.Circuit, stim *circuit.Stimulus, plan *partition.Plan, cfg C
 	res.Outputs = make(map[string][]TimedValue, len(c.Outputs))
 	for _, id := range c.Outputs {
 		res.Outputs[c.Nodes[id].Name] = r.nodes[id].history
+	}
+	if cfg.CaptureFinal {
+		res.FinalVals = make([][2]circuit.Value, len(r.nodes))
+		for i := range r.nodes {
+			res.FinalVals[i] = r.nodes[i].inVal
+		}
 	}
 	return res, nil
 }
