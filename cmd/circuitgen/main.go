@@ -11,9 +11,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"hjdes/internal/atomicfile"
 	"hjdes/internal/circuit"
 	"hjdes/internal/core"
 	"hjdes/internal/cspec"
@@ -60,23 +62,22 @@ func main() {
 	}
 
 	if *outFlag != "" {
-		w := os.Stdout
-		if *outFlag != "-" {
-			f, err := os.Create(*outFlag)
-			if err != nil {
-				fatalf("%v", err)
+		serialize := func(w io.Writer) error {
+			switch *formatFlag {
+			case "netlist":
+				return circuit.Serialize(w, c)
+			case "bench":
+				return circuit.WriteBench(w, c)
 			}
-			defer f.Close()
-			w = f
+			return fmt.Errorf("unknown format %q", *formatFlag)
 		}
 		var err error
-		switch *formatFlag {
-		case "netlist":
-			err = circuit.Serialize(w, c)
-		case "bench":
-			err = circuit.WriteBench(w, c)
-		default:
-			err = fmt.Errorf("unknown format %q", *formatFlag)
+		if *outFlag == "-" {
+			err = serialize(os.Stdout)
+		} else {
+			// Temp-then-rename: a failed serialization leaves any previous
+			// netlist at this path intact rather than truncated.
+			err = atomicfile.Write(*outFlag, serialize)
 		}
 		if err != nil {
 			fatalf("serialize: %v", err)

@@ -14,10 +14,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strings"
 
+	"hjdes/internal/atomicfile"
 	"hjdes/internal/chaos"
 	"hjdes/internal/circuit"
 	"hjdes/internal/core"
@@ -250,34 +252,32 @@ func removeStaleVCD() {
 	}
 }
 
-// writeVCD dumps the run's output waveforms when -vcd is set.
+// writeVCD dumps the run's output waveforms when -vcd is set. The write
+// is temp-then-rename: a failure mid-encode leaves any previous VCD
+// intact instead of a truncated one.
 func writeVCD(res *core.Result) {
 	if *vcdFlag == "" {
 		return
 	}
-	f, err := os.Create(*vcdFlag)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	defer f.Close()
-	if err := trace.WriteResultVCD(f, res); err != nil {
+	if err := atomicfile.Write(*vcdFlag, func(w io.Writer) error {
+		return trace.WriteResultVCD(w, res)
+	}); err != nil {
 		fatalf("write vcd: %v", err)
 	}
 	fmt.Printf("waveforms: %s\n", *vcdFlag)
 }
 
 // writeTrace drains the flight recorder into the -trace-out file as Chrome
-// trace_event JSON. Called on success and on supervised failure.
+// trace_event JSON. Called on success and on supervised failure (the PR 3
+// contract: the trace of an exit-2 run is the one worth keeping), written
+// atomically so a crash mid-encode cannot corrupt an earlier trace.
 func writeTrace() {
 	if recorder == nil {
 		return
 	}
-	f, err := os.Create(*traceFlag)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	defer f.Close()
-	if err := obs.WriteChromeTrace(f, recorder.Events()); err != nil {
+	if err := atomicfile.Write(*traceFlag, func(w io.Writer) error {
+		return obs.WriteChromeTrace(w, recorder.Events())
+	}); err != nil {
 		fatalf("write trace: %v", err)
 	}
 	fmt.Printf("trace: %s\n", *traceFlag)

@@ -1,0 +1,78 @@
+// dessimd is the long-running multi-tenant simulation service: clients
+// POST JobSpec JSON to /jobs and poll /jobs/{id} for results, while one
+// merged metrics registry (/metrics) and per-job Chrome traces
+// (/trace/{id}) expose what the engines are doing. Admission is bounded
+// (429 + Retry-After when the queue is full) and SIGTERM drains
+// gracefully: in-flight jobs finish or checkpoint, then the process
+// exits 0.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hjdes/internal/serve"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dessimd: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	addrFlag := flag.String("addr", "127.0.0.1:8047", "listen address")
+	queueFlag := flag.Int("queue", 64, "admission queue capacity (full queue -> 429)")
+	concFlag := flag.Int("concurrency", 0, "max jobs running at once (0 = GOMAXPROCS)")
+	drainFlag := flag.Duration("drain-timeout", 10*time.Second, "grace for in-flight jobs on SIGTERM before they are checkpointed and interrupted")
+	timeoutFlag := flag.Duration("job-timeout", 2*time.Minute, "default per-attempt timeout for specs without timeout_ms")
+	poolFlag := flag.Int("pool-idle", 4, "idle hj runtimes kept per worker-count")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fatalf("unexpected arguments %v", flag.Args())
+	}
+
+	srv := serve.New(serve.Config{
+		QueueCap:       *queueFlag,
+		Concurrency:    *concFlag,
+		DrainTimeout:   *drainFlag,
+		DefaultTimeout: *timeoutFlag,
+		PoolIdle:       *poolFlag,
+	})
+
+	ln, err := net.Listen("tcp", *addrFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Printf("dessimd: listening on http://%s (queue %d)\n", ln.Addr(), *queueFlag)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("dessimd: %v: draining (grace %v)\n", sig, *drainFlag)
+	case err := <-errc:
+		fatalf("serve: %v", err)
+	}
+
+	// Stop admitting and let in-flight jobs finish or checkpoint, then
+	// close the listener. Drain returns only when every executor has
+	// exited, so jobs never race the process teardown.
+	srv.Drain()
+	hs.Close()
+	mv := srv.Metrics()
+	fmt.Printf("dessimd: drained: %d done, %d failed, %d interrupted\n",
+		mv.Counters["serve.completed"], mv.Counters["serve.failed"], mv.Counters["serve.interrupted"])
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatalf("serve: %v", err)
+	}
+}

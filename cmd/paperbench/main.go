@@ -14,15 +14,20 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 
+	"hjdes/internal/atomicfile"
 	"hjdes/internal/core"
 	"hjdes/internal/harness"
+	"hjdes/internal/serve"
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment: table1 | table2 | fig1 | fig4 | fig5 | fig6 | fig7 | ablations | profiles | ordered | timewarp | lp | bench | netdes | all")
+	expFlag     = flag.String("exp", "all", "experiment: table1 | table2 | fig1 | fig4 | fig5 | fig6 | fig7 | ablations | profiles | ordered | timewarp | lp | bench | netdes | serve | all")
 	scaleFlag   = flag.Float64("scale", 0.1, "fraction of the paper's event volume per run (1 = paper scale)")
 	repeatsFlag = flag.Int("repeats", 3, "repetitions per configuration (paper: 20)")
 	workersFlag = flag.Int("maxworkers", 8, "maximum worker count in sweeps (paper: 32)")
@@ -35,6 +40,10 @@ var (
 	retryFlag   = flag.Int("retries", 0, "resilient: extra attempts per engine on retryable failures (0 = fail fast)")
 	fbFlag      = flag.String("fallback", "", "resilient: comma-separated engine degradation chain, e.g. lp,seq")
 	ckptFlag    = flag.Int("checkpoint-every", 0, "resilient: snapshot every N settle boundaries so retries resume (0 = off)")
+	addrFlag    = flag.String("addr", "", "with -exp serve: target dessimd base URL (empty = host an in-process server)")
+	clientsFlag = flag.Int("clients", 8, "with -exp serve: concurrent closed-loop load clients")
+	jobsPerFlag = flag.Int("jobsper", 4, "with -exp serve: jobs each client must complete")
+	engFlag     = flag.String("engines", "seq,hj,lp", "with -exp serve: comma-separated engines assigned round-robin")
 )
 
 func fatalf(format string, args ...any) {
@@ -164,26 +173,74 @@ func main() {
 			fatalf("%v", err)
 		}
 		if *jsonFlag != "" {
-			out := os.Stdout
-			if *jsonFlag != "-" {
-				f, err := os.Create(*jsonFlag)
-				if err != nil {
+			if *jsonFlag == "-" {
+				if err := harness.WriteBenchJSON(os.Stdout, records); err != nil {
 					fatalf("%v", err)
 				}
-				defer f.Close()
-				out = f
+				return
 			}
-			if err := harness.WriteBenchJSON(out, records); err != nil {
+			// Temp-then-rename: a failure mid-encode must not leave a
+			// truncated trajectory that regression tooling would diff
+			// against as if it were complete.
+			if err := atomicfile.Write(*jsonFlag, func(w io.Writer) error {
+				return harness.WriteBenchJSON(w, records)
+			}); err != nil {
 				fatalf("%v", err)
 			}
 			return
 		}
 		emit(harness.BenchTable(records))
+	case "serve":
+		runServeLoad()
 	case "all":
 		if err := harness.All(cfg, os.Stdout); err != nil {
 			fatalf("%v", err)
 		}
 	default:
 		fatalf("unknown experiment %q", *expFlag)
+	}
+}
+
+// runServeLoad drives the dessimd serving experiment: N concurrent
+// closed-loop clients submit jobs round-robin across engine families and
+// the report records throughput and latency percentiles. With no -addr
+// it hosts an in-process server on a loopback port, so the experiment is
+// self-contained. Any failed job is a serving-layer bug: exit nonzero.
+func runServeLoad() {
+	lcfg := harness.LoadConfig{
+		Addr:    *addrFlag,
+		Clients: *clientsFlag,
+		JobsPer: *jobsPerFlag,
+	}
+	for _, name := range strings.Split(*engFlag, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			lcfg.Engines = append(lcfg.Engines, name)
+		}
+	}
+	if *timeoutFlag > 0 {
+		lcfg.Timeout = *timeoutFlag
+	}
+	if lcfg.Addr == "" {
+		srv := serve.New(serve.Config{QueueCap: 2 * *clientsFlag, Concurrency: 0})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		defer func() {
+			srv.Drain()
+			hs.Close()
+		}()
+		lcfg.Addr = "http://" + ln.Addr().String()
+		fmt.Printf("serve: in-process dessimd on %s\n", lcfg.Addr)
+	}
+	rep, err := harness.DriveLoad(lcfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	emit(harness.LoadTable(lcfg, rep))
+	if rep.Failed > 0 {
+		fatalf("%d of %d jobs failed under load: %s", rep.Failed, rep.Failed+rep.Jobs, rep.FirstFail)
 	}
 }

@@ -1,0 +1,49 @@
+// Package atomicfile provides crash-safe artifact writes for the
+// command-line tools: VCD waveforms, Chrome traces, benchmark JSON and
+// generated netlists are streamed into a temporary file next to the
+// destination and renamed over it only after the encoder has finished
+// and the data is flushed. A panic, exit(2) or encode failure midway
+// leaves the previous artifact byte-for-byte intact instead of a
+// truncated file that downstream tooling would parse as valid-but-wrong.
+package atomicfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Write streams the artifact through write into a hidden temporary file
+// in path's directory, syncs it, and renames it over path only once
+// everything succeeded. On any failure the temporary file is removed
+// and path is left untouched (whatever was there before still is).
+func Write(path string, write func(io.Writer) error) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	// Cleanup runs on every failure path below; after the rename the
+	// temp name no longer exists and both calls are no-ops.
+	defer func() {
+		tmp.Close()
+		os.Remove(tmp.Name())
+	}()
+	if err := write(tmp); err != nil {
+		return fmt.Errorf("atomicfile: encode %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicfile: sync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("atomicfile: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package atomicfile
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return string(b)
+}
+
+func listDir(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("readdir: %v", err)
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	return names
+}
+
+func TestWriteCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.vcd")
+	if err := Write(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "first artifact")
+		return err
+	}); err != nil {
+		t.Fatalf("initial write: %v", err)
+	}
+	if got := readFile(t, path); got != "first artifact" {
+		t.Fatalf("content %q", got)
+	}
+	if err := Write(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "second artifact")
+		return err
+	}); err != nil {
+		t.Fatalf("replace write: %v", err)
+	}
+	if got := readFile(t, path); got != "second artifact" {
+		t.Fatalf("content after replace %q", got)
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Fatalf("temp litter left behind: %v", names)
+	}
+}
+
+// TestEncodeFailureKeepsOldArtifact is the crash-safety regression: an
+// encoder that dies partway through — after already emitting bytes —
+// must leave the previous artifact intact and the directory free of
+// temporaries. Pre-fix the tools os.Create'd in place, so the old file
+// was already truncated and half-overwritten by the time the encoder
+// failed.
+func TestEncodeFailureKeepsOldArtifact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	const good = `{"schema":3,"records":[{"ok":true}]}`
+	if err := os.WriteFile(path, []byte(good), 0o644); err != nil {
+		t.Fatalf("seed artifact: %v", err)
+	}
+	boom := errors.New("encoder died mid-stream")
+	err := Write(path, func(w io.Writer) error {
+		if _, werr := io.WriteString(w, `{"schema":3,"records":[`); werr != nil {
+			return werr
+		}
+		return boom // half the artifact is out; then the encode fails
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want the encoder's error surfaced, got %v", err)
+	}
+	if got := readFile(t, path); got != good {
+		t.Fatalf("old artifact corrupted by failed write:\n got %q\nwant %q", got, good)
+	}
+	for _, name := range listDir(t, dir) {
+		if strings.Contains(name, ".tmp-") {
+			t.Fatalf("failed write left temp file %s", name)
+		}
+	}
+}
+
+func TestWriteMissingDirFails(t *testing.T) {
+	err := Write(filepath.Join(t.TempDir(), "no", "such", "dir", "x"), func(io.Writer) error { return nil })
+	if err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+}

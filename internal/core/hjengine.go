@@ -164,8 +164,14 @@ func (e *hjEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.St
 		cfg.TaskHook = ch.Task
 		cfg.WakeHook = ch.Wake
 	}
-	rt := hj.NewRuntime(cfg)
-	defer rt.Shutdown()
+	// Caller-owned runtime (the serving pool): reuse its workers and
+	// leave its lifecycle alone. Trace and chaos hooks are wired at
+	// runtime construction, so hooked runs always build a private one.
+	rt := e.opts.Runtime
+	if rt == nil || e.opts.Trace != nil || e.opts.Chaos != nil {
+		rt = hj.NewRuntime(cfg)
+		defer rt.Shutdown()
+	}
 	e.rt.Store(rt)
 	r.bufs = make([][]portEvent, rt.NumWorkers())
 	// Locality-aware wakeups: partition the circuit K ways (K = workers)
@@ -190,7 +196,16 @@ func (e *hjEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.St
 		go func() {
 			select {
 			case <-ctx.Done():
-				rt.Cancel()
+				// The run may have completed between the cancellation and
+				// this goroutine being scheduled (Supervise cancels its
+				// attempt context on return). Cancelling then would poison
+				// a caller-owned runtime after a successful run, so only
+				// cancel while the run is still in flight.
+				select {
+				case <-watchDone:
+				default:
+					rt.Cancel()
+				}
 			case <-watchDone:
 			}
 		}()

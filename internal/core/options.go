@@ -2,6 +2,7 @@ package core
 
 import (
 	"hjdes/internal/circuit"
+	"hjdes/internal/hj"
 	"hjdes/internal/obs"
 )
 
@@ -108,6 +109,19 @@ type Options struct {
 	// every boundary; 0 leaves the engine's default (every boundary when
 	// a store is supplied). Runs without a store never segment.
 	CheckpointEvery int
+
+	// Runtime, when non-nil, runs the hj engine family on this
+	// caller-owned runtime instead of creating (and shutting down) a
+	// fresh one per run — the steady-state serving path, where worker
+	// goroutines are amortized across jobs through a core.RuntimePool.
+	// The caller keeps ownership: the engine never Shutdowns it, and the
+	// caller must check Runtime.Quiescent before reuse (a canceled or
+	// panicked run poisons the runtime; return it to the pool, which
+	// discards it). Ignored when Trace or Chaos is set — those wire
+	// per-run hooks into the runtime at construction, so such runs get a
+	// private runtime — and by every non-hj engine. The runtime's worker
+	// count overrides Options.Workers.
+	Runtime *hj.Runtime
 
 	// Chaos, when non-nil, injects scheduler-level faults into the
 	// parallel runtimes: Task fires before each task/LP body (may panic),

@@ -32,16 +32,21 @@ var (
 	}
 )
 
-// RegisterEngine adds (or replaces) a named engine factory. It is meant
-// for engines living outside this package; registering a nil factory or
-// an empty name panics. Safe for concurrent use.
+// RegisterEngine adds a named engine factory. It is meant for engines
+// living outside this package; registering a nil factory or an empty
+// name panics, and so does registering a name that already exists — a
+// typo'd registration must fail loudly instead of silently shadowing a
+// real engine behind the same name. Safe for concurrent use.
 func RegisterEngine(name string, f EngineFactory) {
 	if name == "" || f == nil {
 		panic("core: RegisterEngine with empty name or nil factory")
 	}
 	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := engineRegistry[name]; dup {
+		panic(fmt.Sprintf("core: RegisterEngine: engine %q already registered", name))
+	}
 	engineRegistry[name] = f
-	registryMu.Unlock()
 }
 
 // NewEngine builds the named engine with the given options. The error

@@ -1,26 +1,26 @@
 package core
 
 import (
+	"fmt"
+	"strings"
 	"sync"
 	"testing"
 )
 
 // TestRegistryConcurrentAccess hammers the engine registry from many
 // goroutines; run under -race this pins down the RWMutex guarantees of
-// RegisterEngine / NewEngine / EngineNames.
+// RegisterEngine / NewEngine / EngineNames. Every writer registers a
+// distinct name: duplicate registration is a panic, not a replacement.
 func TestRegistryConcurrentAccess(t *testing.T) {
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(3)
-		go func() {
+		go func(writer int) {
 			defer wg.Done()
-			// All writers race on one name: replacement is legal, and a
-			// single leftover entry keeps EngineNames clean for the other
-			// tests in this package.
 			for j := 0; j < 50; j++ {
-				RegisterEngine("scratch", NewSequential)
+				RegisterEngine(fmt.Sprintf("scratch-%d-%d", writer, j), NewSequential)
 			}
-		}()
+		}(i)
 		go func() {
 			defer wg.Done()
 			for j := 0; j < 50; j++ {
@@ -42,12 +42,49 @@ func TestRegistryConcurrentAccess(t *testing.T) {
 	}
 	wg.Wait()
 
-	// The scratch name stays registered (the registry has no Unregister
-	// on purpose) and must resolve.
-	if _, err := NewEngine("scratch", Options{}); err != nil {
+	// Registered names stay registered (the registry has no Unregister on
+	// purpose) and must resolve.
+	if _, err := NewEngine("scratch-0-0", Options{}); err != nil {
 		t.Fatalf("registered scratch engine did not resolve: %v", err)
 	}
 	if _, err := NewEngine("no-such-engine", Options{}); err == nil {
 		t.Fatal("unknown engine name resolved")
+	}
+}
+
+// TestRegisterEngineDuplicatePanics is the shadowing regression: a
+// second registration under an existing name — including any of the
+// init-time built-ins — must panic instead of silently replacing the
+// real engine. Pre-fix, the typo'd factory won and every later
+// NewEngine("hj") quietly built the impostor.
+func TestRegisterEngineDuplicatePanics(t *testing.T) {
+	mustPanic := func(name string, f EngineFactory, wantSub string) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("RegisterEngine(%q) did not panic", name)
+			}
+			if msg := fmt.Sprint(r); !strings.Contains(msg, wantSub) {
+				t.Fatalf("RegisterEngine(%q) panic %q, want it to mention %q", name, msg, wantSub)
+			}
+		}()
+		RegisterEngine(name, f)
+	}
+
+	RegisterEngine("registry-dup-probe", NewSequential)
+	mustPanic("registry-dup-probe", NewSequentialPQ, "already registered")
+	// The built-in table is protected the same way.
+	mustPanic("hj", NewSequential, "already registered")
+	mustPanic("", NewSequential, "empty name")
+	mustPanic("registry-nil-probe", nil, "nil factory")
+
+	// The original registration survives the rejected duplicate.
+	eng, err := NewEngine("registry-dup-probe", Options{})
+	if err != nil {
+		t.Fatalf("original registration lost: %v", err)
+	}
+	if eng.Name() != NewSequential(Options{}).Name() {
+		t.Fatalf("duplicate registration replaced the original: got %q", eng.Name())
 	}
 }

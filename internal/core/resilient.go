@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"time"
 
@@ -90,7 +91,20 @@ func Resilient(ctx context.Context, e Engine, c *circuit.Circuit, stim *circuit.
 			annotateResilient(res, attempts, res.Degraded, scfg.Checkpoints, cfg.Options)
 			return res, nil
 		}
-		if ctx.Err() != nil || !Retryable(err) {
+		if ctx.Err() != nil {
+			// The caller gave up. Surface the cancellation, never the
+			// failure that raced it: a worker panic arriving in the same
+			// instant as the cancel must not leave the caller holding a
+			// Retryable error — an outer layer (the serving drain path)
+			// would re-run a job whose owner already walked away. When the
+			// engine's own error classifies as the context sentinel it is
+			// kept (it carries Diag); otherwise the context cause wins.
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, err
+			}
+			return nil, context.Cause(ctx)
+		}
+		if !Retryable(err) {
 			return nil, err
 		}
 		tries++

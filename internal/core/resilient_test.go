@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"runtime"
 	"testing"
 	"time"
 
@@ -261,4 +262,73 @@ func BenchmarkResilientOverhead(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// stubbornEngine fails with a retryable panic on every attempt; when
+// block is set it first waits for the context to die, modeling a worker
+// panic that arrives in the same instant as a cancellation.
+type stubbornEngine struct{ block bool }
+
+func (e *stubbornEngine) Name() string { return "stubborn" }
+func (e *stubbornEngine) Run(*circuit.Circuit, *circuit.Stimulus) (*Result, error) {
+	return nil, &EngineError{Engine: "stubborn", Reason: FailPanic, Value: "induced"}
+}
+func (e *stubbornEngine) RunContext(ctx context.Context, c *circuit.Circuit, stim *circuit.Stimulus) (*Result, error) {
+	if e.block {
+		<-ctx.Done()
+	}
+	return nil, &EngineError{Engine: "stubborn", Reason: FailPanic, Value: "induced"}
+}
+
+// TestResilientCancelMidBackoff cancels the parent context while
+// Resilient sleeps out a multi-second backoff and requires a prompt
+// return carrying context.Canceled, with no goroutines left behind.
+func TestResilientCancelMidBackoff(t *testing.T) {
+	c, stim, _ := resilientTestInputs(t)
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := Resilient(ctx, &stubbornEngine{}, c, stim, ResilientConfig{
+		Retry: RetryPolicy{Retries: 5, Backoff: 10 * time.Second, MaxBackoff: 10 * time.Second},
+	})
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v to surface; the backoff sleep must abort immediately", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if Retryable(err) {
+		t.Fatalf("canceled run classified retryable: %v", err)
+	}
+	settleGoroutines(t, base)
+}
+
+// TestResilientCancelRacesRetryableFailure is the reclassification
+// regression: when the caller's cancel and a retryable worker failure
+// land together, Resilient must surface the cancellation — never hand an
+// outer retry layer a Retryable error for a job whose owner walked away.
+// Pre-fix, the attempt's FailPanic was returned verbatim here.
+func TestResilientCancelRacesRetryableFailure(t *testing.T) {
+	c, stim, _ := resilientTestInputs(t)
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, err := Resilient(ctx, &stubbornEngine{block: true}, c, stim, ResilientConfig{
+		Retry:    RetryPolicy{Retries: 3, Backoff: 10 * time.Second},
+		Fallback: []string{"seq"},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancellation reclassified as %v, want context.Canceled", err)
+	}
+	if Retryable(err) {
+		t.Fatalf("canceled run classified retryable: %v", err)
+	}
+	settleGoroutines(t, base)
 }

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"hjdes/internal/hj"
+	"hjdes/internal/obs"
+)
+
+// RuntimePool amortizes hj worker goroutines across simulation jobs: a
+// long-running service checks a runtime out per job (Options.Runtime),
+// runs on it, and returns it, so steady-state dispatch spawns no worker
+// goroutines and allocates no scheduler state. Idle runtimes are kept
+// per worker count; every returned runtime passes the Quiescent
+// leak/reset check before it can be handed to another job — a canceled,
+// panicked or task-leaking runtime is shut down and discarded instead.
+// Safe for concurrent use.
+type RuntimePool struct {
+	mu      sync.Mutex
+	free    map[int][]*hj.Runtime // worker count -> idle runtimes
+	maxIdle int                   // per worker count; <=0 means 4
+	closed  bool
+
+	created   int64 // runtimes constructed
+	reused    int64 // Gets served from the free list
+	discarded int64 // Puts that failed the health check
+}
+
+// NewRuntimePool returns a pool keeping at most maxIdle idle runtimes
+// per worker count (<= 0 means 4).
+func NewRuntimePool(maxIdle int) *RuntimePool {
+	if maxIdle <= 0 {
+		maxIdle = 4
+	}
+	return &RuntimePool{free: make(map[int][]*hj.Runtime), maxIdle: maxIdle}
+}
+
+// normWorkers resolves "default" worker counts to the same value the
+// runtime itself would (GOMAXPROCS), so the Get key always matches the
+// Put key (rt.NumWorkers reports the resolved count, never 0) and a job
+// asking for 0 shares runtimes with one asking for the resolved value.
+func normWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// Get checks out a runtime with the given worker count (0 means
+// GOMAXPROCS), reusing an idle one when available. The caller owns the
+// runtime until Put.
+func (p *RuntimePool) Get(workers int) *hj.Runtime {
+	workers = normWorkers(workers)
+	p.mu.Lock()
+	if l := p.free[workers]; len(l) > 0 && !p.closed {
+		rt := l[len(l)-1]
+		p.free[workers] = l[:len(l)-1]
+		p.reused++
+		p.mu.Unlock()
+		return rt
+	}
+	p.created++
+	p.mu.Unlock()
+	return hj.NewRuntime(hj.Config{Workers: workers})
+}
+
+// Put returns a runtime checked out by Get. The runtime is re-pooled
+// only if it passes the Quiescent health check (alive, no contained
+// panic, no task left anywhere); otherwise — or when the pool is closed
+// or full — it is shut down. Put reports the health error, nil when the
+// runtime was clean (pooled or not).
+func (p *RuntimePool) Put(rt *hj.Runtime) error {
+	if rt == nil {
+		return nil
+	}
+	if err := rt.Quiescent(); err != nil {
+		rt.Shutdown()
+		p.mu.Lock()
+		p.discarded++
+		p.mu.Unlock()
+		return err
+	}
+	key := rt.NumWorkers()
+	p.mu.Lock()
+	if !p.closed && len(p.free[key]) < p.maxIdle {
+		p.free[key] = append(p.free[key], rt)
+		p.mu.Unlock()
+		return nil
+	}
+	p.mu.Unlock()
+	rt.Shutdown()
+	return nil
+}
+
+// Close shuts down every idle runtime and marks the pool closed:
+// subsequent Gets build throwaway runtimes and Puts shut them down.
+func (p *RuntimePool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	var all []*hj.Runtime
+	for k, l := range p.free {
+		all = append(all, l...)
+		delete(p.free, k)
+	}
+	p.mu.Unlock()
+	for _, rt := range all {
+		rt.Shutdown()
+	}
+}
+
+// RuntimePoolStats is a point-in-time view of the pool's counters.
+type RuntimePoolStats struct {
+	Created   int64 // runtimes constructed
+	Reused    int64 // checkouts served without spawning workers
+	Discarded int64 // returns rejected by the health check
+	Idle      int   // runtimes currently parked in the pool
+}
+
+// Stats snapshots the pool counters.
+func (p *RuntimePool) Stats() RuntimePoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := RuntimePoolStats{Created: p.created, Reused: p.reused, Discarded: p.discarded}
+	for _, l := range p.free {
+		s.Idle += len(l)
+	}
+	return s
+}
+
+// MetricsInto writes the pool counters into a flat metrics map
+// (assignment, not addition, so repeated folding is idempotent).
+func (s RuntimePoolStats) MetricsInto(m obs.Metrics) {
+	m["pool.created"] = s.Created
+	m["pool.reused"] = s.Reused
+	m["pool.discarded"] = s.Discarded
+	m["pool.idle"] = int64(s.Idle)
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"hjdes/internal/circuit"
+)
+
+// poolTestJob runs one hj simulation on a pool-owned runtime and
+// returns its result, the way the serving layer dispatches jobs.
+func poolTestJob(t *testing.T, pool *RuntimePool, workers int, seed int64) *Result {
+	t.Helper()
+	c := circuit.KoggeStone(16)
+	stim := circuit.RandomStimulus(c, 4, c.SettleTime()+10, seed)
+	rt := pool.Get(workers)
+	defer func() {
+		if err := pool.Put(rt); err != nil {
+			t.Fatalf("healthy runtime failed the reuse check: %v", err)
+		}
+	}()
+	eng := NewHJ(Options{Workers: workers, Runtime: rt, DiscardOutputs: true})
+	res, err := eng.Run(c, stim)
+	if err != nil {
+		t.Fatalf("pooled run: %v", err)
+	}
+	return res
+}
+
+// TestRuntimePoolReusesWorkers pins the serving-path contract: after the
+// first job warms the pool, subsequent jobs reuse the same runtime — no
+// new worker goroutines, one runtime ever constructed — and the merged
+// results match a fresh-runtime run.
+func TestRuntimePoolReusesWorkers(t *testing.T) {
+	const workers = 4
+	pool := NewRuntimePool(2)
+	defer pool.Close()
+
+	ref := poolTestJob(t, pool, workers, 7) // warm: constructs the runtime
+	base := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		res := poolTestJob(t, pool, workers, 7)
+		if ok, diff := SameOutputs(ref, res); !ok {
+			t.Fatalf("pooled run %d diverged: %s", i, diff)
+		}
+		if n := runtime.NumGoroutine(); n > base+2 {
+			t.Fatalf("job %d leaked goroutines: %d running vs %d after warmup", i, n, base)
+		}
+	}
+	s := pool.Stats()
+	if s.Created != 1 {
+		t.Fatalf("pool constructed %d runtimes for 6 same-shape jobs, want 1", s.Created)
+	}
+	if s.Reused != 5 {
+		t.Fatalf("pool reused %d times, want 5", s.Reused)
+	}
+	if s.Discarded != 0 {
+		t.Fatalf("healthy runtimes discarded: %d", s.Discarded)
+	}
+}
+
+// TestRuntimePoolDefaultWorkersReuse pins the Get/Put key agreement for
+// the default worker count: Get(0) must reuse a runtime returned by Put,
+// whose key is the runtime's resolved (GOMAXPROCS) count, never 0. The
+// serving path submits Workers:0 jobs almost exclusively, so a key
+// mismatch here silently rebuilds every runtime.
+func TestRuntimePoolDefaultWorkersReuse(t *testing.T) {
+	pool := NewRuntimePool(2)
+	defer pool.Close()
+	poolTestJob(t, pool, 0, 13)
+	poolTestJob(t, pool, 0, 13)
+	poolTestJob(t, pool, runtime.GOMAXPROCS(0), 13) // same shape, explicit count
+	s := pool.Stats()
+	if s.Created != 1 || s.Reused != 2 {
+		t.Fatalf("default-workers pooling: created=%d reused=%d, want 1/2", s.Created, s.Reused)
+	}
+}
+
+// TestRuntimePoolDiscardsPoisonedRuntime cancels a pooled run mid-flight
+// and requires Put to fail the health check, shut the runtime down, and
+// never hand it to the next job.
+func TestRuntimePoolDiscardsPoisonedRuntime(t *testing.T) {
+	const workers = 2
+	pool := NewRuntimePool(2)
+	defer pool.Close()
+	base := runtime.NumGoroutine()
+
+	c := circuit.KoggeStone(32)
+	stim := circuit.RandomStimulus(c, 200, c.SettleTime()+10, 3)
+	rt := pool.Get(workers)
+	eng := NewHJ(Options{Workers: workers, Runtime: rt, DiscardOutputs: true}).(ContextEngine)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // poison: the run dies on the canceled context
+	if _, err := eng.RunContext(ctx, c, stim); err == nil {
+		t.Fatal("canceled pooled run reported success")
+	}
+	if err := pool.Put(rt); err == nil {
+		t.Fatal("poisoned runtime passed the reuse health check")
+	}
+	if got := pool.Stats().Discarded; got != 1 {
+		t.Fatalf("Discarded = %d, want 1", got)
+	}
+
+	// The next job must get a fresh, working runtime.
+	res := poolTestJob(t, pool, workers, 5)
+	if res.TotalEvents == 0 {
+		t.Fatal("post-discard job processed no events")
+	}
+	settleGoroutines(t, base+workers) // one healthy runtime may stay pooled
+}
+
+// TestRuntimePoolCloseShutsDownIdle verifies Close reaps parked worker
+// goroutines and later Puts do not resurrect the pool.
+func TestRuntimePoolCloseShutsDownIdle(t *testing.T) {
+	base := runtime.NumGoroutine()
+	pool := NewRuntimePool(4)
+	poolTestJob(t, pool, 3, 11)
+	pool.Close()
+	if got := pool.Stats().Idle; got != 0 {
+		t.Fatalf("idle after Close = %d, want 0", got)
+	}
+	rt := pool.Get(3) // throwaway after Close
+	if err := pool.Put(rt); err != nil {
+		t.Fatalf("post-Close Put: %v", err)
+	}
+	if got := pool.Stats().Idle; got != 0 {
+		t.Fatalf("Put after Close re-pooled a runtime (idle=%d)", got)
+	}
+	settleGoroutines(t, base)
+}
+
+// TestQuiescentFlagsDirtyRuntime drives hj.Runtime.Quiescent directly
+// through the engine path: a clean run is quiescent, a canceled one is
+// not, and the check stays stable over time (no background activity).
+func TestQuiescentFlagsDirtyRuntime(t *testing.T) {
+	pool := NewRuntimePool(1)
+	defer pool.Close()
+	rt := pool.Get(2)
+	c := circuit.FullAdder()
+	stim := circuit.RandomStimulus(c, 3, c.SettleTime()+10, 1)
+	if _, err := NewHJ(Options{Workers: 2, Runtime: rt, DiscardOutputs: true}).Run(c, stim); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := rt.Quiescent(); err != nil {
+			t.Fatalf("clean runtime not quiescent (check %d): %v", i, err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rt.Cancel()
+	if err := rt.Quiescent(); err == nil {
+		t.Fatal("canceled runtime reported quiescent")
+	}
+	pool.Put(rt) // discards
+}

@@ -335,6 +335,33 @@ func (rt *Runtime) Shutdown() {
 // dead reports whether the runtime has been shut down or canceled.
 func (rt *Runtime) dead() bool { return rt.stopped.Load() || rt.canceledA.Load() }
 
+// Quiescent reports whether the runtime is healthy and idle: alive (not
+// canceled, not shut down, no contained panic) with no task visible in
+// the injector, any deque, or any mailbox. It is the leak/reset check a
+// runtime pool runs between jobs — a caller that sees a non-nil error
+// must not hand the runtime to another job. Only meaningful between
+// Finish calls (a mid-run runtime legitimately has work everywhere).
+func (rt *Runtime) Quiescent() error {
+	if err := rt.Err(); err != nil {
+		return fmt.Errorf("hj: runtime not reusable: %w", err)
+	}
+	if rt.stopped.Load() {
+		return fmt.Errorf("hj: runtime not reusable: shut down")
+	}
+	if !rt.injector.empty() {
+		return fmt.Errorf("hj: runtime not quiescent: injector holds tasks")
+	}
+	for _, w := range rt.workers {
+		if n := w.deque.sizeHint(); n > 0 {
+			return fmt.Errorf("hj: runtime not quiescent: worker %d deque holds %d tasks", w.id, n)
+		}
+		if w.mailbox.Load() != nil {
+			return fmt.Errorf("hj: runtime not quiescent: worker %d mailbox not drained", w.id)
+		}
+	}
+	return nil
+}
+
 // workVisibleTo reports whether any work w could run appears to exist:
 // the injector, w's own mailbox, or any deque (stealable). Other workers'
 // mailboxes are excluded — only their owners can drain them, and the

@@ -128,3 +128,111 @@ func TestMetricsMapHelpers(t *testing.T) {
 		t.Fatalf("String = %q", s)
 	}
 }
+
+// TestRegistrySnapshotUnderConcurrentJobs is the serving-path workload:
+// many jobs record into one shared registry (sharded counter adds,
+// histogram observations, and whole-run MergeMetrics folds) while a
+// metrics endpoint snapshots in a tight loop. Run under -race this pins
+// the lock discipline; the final snapshot must see every write.
+func TestRegistrySnapshotUnderConcurrentJobs(t *testing.T) {
+	r := NewRegistry(8)
+	const jobs, perJob = 16, 500
+	var writers, scraper sync.WaitGroup
+	stop := make(chan struct{})
+	// The scraper: hammer Snapshot concurrently with the writers and
+	// require monotonicity — a snapshot can lag, never overcount.
+	scraped := make(chan error, 1)
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		var last int64
+		for {
+			snap := r.Snapshot()
+			got := snap.Counters["events"]
+			if got < last {
+				select {
+				case scraped <- fmt.Errorf("snapshot went backwards: %d after %d", got, last):
+				default:
+				}
+				return
+			}
+			if got > jobs*perJob {
+				select {
+				case scraped <- fmt.Errorf("snapshot overcounted: %d > %d", got, jobs*perJob):
+				default:
+				}
+				return
+			}
+			last = got
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	for j := 0; j < jobs; j++ {
+		writers.Add(1)
+		go func(j int) {
+			defer writers.Done()
+			h := r.Histogram("job_ms")
+			for i := 0; i < perJob; i++ {
+				r.Counter("events").Add(j, 1)
+				h.Observe(j, float64(i))
+			}
+			// The per-run fold every engine does at completion.
+			r.MergeMetrics(Metrics{"runs": 1})
+		}(j)
+	}
+	writers.Wait()
+	close(stop) // scraper overlapped the writers' whole lifetime
+	scraper.Wait()
+	select {
+	case err := <-scraped:
+		t.Fatal(err)
+	default:
+	}
+	snap := r.Snapshot()
+	if got := snap.Counters["events"]; got != jobs*perJob {
+		t.Fatalf("events = %d, want %d", got, jobs*perJob)
+	}
+	if got := snap.Counters["runs"]; got != jobs {
+		t.Fatalf("runs = %d, want %d", got, jobs)
+	}
+	if h := snap.Hists["job_ms"]; h.Count != jobs*perJob {
+		t.Fatalf("histogram count = %d, want %d", h.Count, jobs*perJob)
+	}
+}
+
+// TestRegistryMergeCorrectness pins the /metrics contract the service
+// relies on: when every job folds its Result.Metrics into one shared
+// registry, the registry's total equals the sum of the per-job counts —
+// no job's contribution is lost or double-counted by the merge.
+func TestRegistryMergeCorrectness(t *testing.T) {
+	r := NewRegistry(4)
+	const jobs = 64
+	perJob := make([]int64, jobs)
+	var wg sync.WaitGroup
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			n := int64(100 + 37*j) // distinct per-job event counts
+			perJob[j] = n
+			r.MergeMetrics(Metrics{"events": n, "hj.spawns": n / 2})
+		}(j)
+	}
+	wg.Wait()
+	var sum, sumSpawns int64
+	for _, n := range perJob {
+		sum += n
+		sumSpawns += n / 2
+	}
+	snap := r.Snapshot()
+	if got := snap.Counters["events"]; got != sum {
+		t.Fatalf("registry events = %d, sum of per-job = %d", got, sum)
+	}
+	if got := snap.Counters["hj.spawns"]; got != sumSpawns {
+		t.Fatalf("registry hj.spawns = %d, sum of per-job = %d", got, sumSpawns)
+	}
+}
