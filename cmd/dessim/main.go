@@ -101,14 +101,19 @@ func main() {
 	}
 	var eng core.Engine
 	switch {
-	case *chaosFlag != "" && *engineFlag == "lp":
-		// lp chaos lives on the message plane: the inbox interceptor.
+	case *chaosFlag != "" && (*engineFlag == "lp" || *engineFlag == "lp-hj"):
+		// lp-family chaos lives on the message plane: the interceptor
+		// sits on the cross-partition delivery path in both engines.
 		ccfg, err := chaos.ParseSpec(*chaosFlag)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		injector = chaos.New(ccfg)
-		eng = core.NewLPIntercepted(opts, injector.Factory())
+		if *engineFlag == "lp-hj" {
+			eng = core.NewLPHJIntercepted(opts, injector.Factory())
+		} else {
+			eng = core.NewLPIntercepted(opts, injector.Factory())
+		}
 	case *chaosFlag != "":
 		// Every other engine takes scheduler-level faults (task panics,
 		// lost/delayed wakeups, rollback storms) through core.ChaosHooks.

@@ -18,6 +18,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 
 	"hjdes/internal/atomicfile"
@@ -27,7 +28,7 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment: table1 | table2 | fig1 | fig4 | fig5 | fig6 | fig7 | ablations | profiles | ordered | timewarp | lp | bench | netdes | serve | all")
+	expFlag     = flag.String("exp", "all", "experiment: table1 | table2 | fig1 | fig4 | fig5 | fig6 | fig7 | ablations | profiles | ordered | timewarp | lp | lpk | bench | netdes | serve | all")
 	scaleFlag   = flag.Float64("scale", 0.1, "fraction of the paper's event volume per run (1 = paper scale)")
 	repeatsFlag = flag.Int("repeats", 3, "repetitions per configuration (paper: 20)")
 	workersFlag = flag.Int("maxworkers", 8, "maximum worker count in sweeps (paper: 32)")
@@ -35,7 +36,8 @@ var (
 	timeoutFlag = flag.Duration("timeout", 0, "fail any individual engine run after this long (0 = unbounded)")
 	csvFlag     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 	circuitFlag = flag.String("circuit", "", "restrict experiments to one paper circuit by name (e.g. koggestone-64)")
-	jsonFlag    = flag.String("json", "", "with -exp bench: write machine-readable records to this file ('-' for stdout)")
+	jsonFlag    = flag.String("json", "", "with -exp bench/lpk: write machine-readable records to this file ('-' for stdout)")
+	ksFlag      = flag.String("ks", "1,8,64,256", "with -exp lpk: comma-separated partition counts for the lp vs lp-hj over-decomposition sweep")
 	hjAblFlag   = flag.Bool("hjablations", false, "with -exp bench: add hj scheduler ablation rows (hj-noaff, hj-steal1) at each worker count")
 	retryFlag   = flag.Int("retries", 0, "resilient: extra attempts per engine on retryable failures (0 = fail fast)")
 	fbFlag      = flag.String("fallback", "", "resilient: comma-separated engine degradation chain, e.g. lp,seq")
@@ -43,12 +45,34 @@ var (
 	addrFlag    = flag.String("addr", "", "with -exp serve: target dessimd base URL (empty = host an in-process server)")
 	clientsFlag = flag.Int("clients", 8, "with -exp serve: concurrent closed-loop load clients")
 	jobsPerFlag = flag.Int("jobsper", 4, "with -exp serve: jobs each client must complete")
-	engFlag     = flag.String("engines", "seq,hj,lp", "with -exp serve: comma-separated engines assigned round-robin")
+	engFlag     = flag.String("engines", "seq,hj,lp,lp-hj", "with -exp serve: comma-separated engines assigned round-robin (known: "+strings.Join(core.EngineNames(), " | ")+")")
 )
 
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "paperbench: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// emitBench writes bench-style records: JSON when -json is given (temp-
+// then-rename for files, so a failure mid-encode never leaves a truncated
+// trajectory that regression tooling would diff against as if complete),
+// a table otherwise.
+func emitBench(records []harness.BenchRecord) {
+	if *jsonFlag != "" {
+		if *jsonFlag == "-" {
+			if err := harness.WriteBenchJSON(os.Stdout, records); err != nil {
+				fatalf("%v", err)
+			}
+			return
+		}
+		if err := atomicfile.Write(*jsonFlag, func(w io.Writer) error {
+			return harness.WriteBenchJSON(w, records)
+		}); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	emit(harness.BenchTable(records))
 }
 
 func emit(t *harness.Table) {
@@ -172,24 +196,27 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		if *jsonFlag != "" {
-			if *jsonFlag == "-" {
-				if err := harness.WriteBenchJSON(os.Stdout, records); err != nil {
-					fatalf("%v", err)
-				}
-				return
+		emitBench(records)
+	case "lpk":
+		var ks []int
+		for _, s := range strings.Split(*ksFlag, ",") {
+			if s = strings.TrimSpace(s); s == "" {
+				continue
 			}
-			// Temp-then-rename: a failure mid-encode must not leave a
-			// truncated trajectory that regression tooling would diff
-			// against as if it were complete.
-			if err := atomicfile.Write(*jsonFlag, func(w io.Writer) error {
-				return harness.WriteBenchJSON(w, records)
-			}); err != nil {
-				fatalf("%v", err)
+			k, err := strconv.Atoi(s)
+			if err != nil || k < 1 {
+				fatalf("bad -ks entry %q (want positive integers)", s)
 			}
-			return
+			ks = append(ks, k)
 		}
-		emit(harness.BenchTable(records))
+		if len(ks) == 0 {
+			fatalf("-ks is empty")
+		}
+		records, err := harness.LPKSweep(cfg, ks)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		emitBench(records)
 	case "serve":
 		runServeLoad()
 	case "all":

@@ -150,6 +150,50 @@ func TestChaosDeadlockWatchdog(t *testing.T) {
 	settleGoroutines(t, base)
 }
 
+// TestChaosDeadlockQuiesceLPHJ induces the same null-suppression
+// deadlock in the fused lp-hj engine, where nothing ever blocks: the
+// starved LPs yield with empty mailboxes, the runtime quiesces, and
+// collection detects the deadlock immediately — the engine must report
+// the same structured FailStall with per-LP diagnostics as the
+// goroutine engine's watchdog, without waiting for any stall window.
+func TestChaosDeadlockQuiesceLPHJ(t *testing.T) {
+	c := circuit.KoggeStone(16)
+	stim := circuit.RandomStimulus(c, 4, c.SettleTime()+10, 9)
+	base := runtime.NumGoroutine()
+
+	inj := chaos.New(chaos.Config{Seed: 9, DropNulls: true})
+	eng := core.NewLPHJIntercepted(core.Options{
+		Partitions: 4, Paranoid: true,
+	}, inj.Factory())
+
+	start := time.Now()
+	_, err := eng.Run(c, stim)
+	var ee *core.EngineError
+	if !errors.As(err, &ee) {
+		t.Fatalf("deadlocked run returned %v, want *EngineError", err)
+	}
+	if ee.Reason != core.FailStall {
+		t.Fatalf("reason = %q, want %q (err: %v)", ee.Reason, core.FailStall, err)
+	}
+	var de *lp.DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("stall does not wrap *lp.DeadlockError: %v", err)
+	}
+	// Quiescence detection is immediate; no watchdog window is involved.
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("quiescence detection took %v", elapsed)
+	}
+	for lpID := 0; lpID < 4; lpID++ {
+		if !strings.Contains(ee.Diag, fmt.Sprintf("lp %d:", lpID)) {
+			t.Fatalf("diagnostics missing lp %d:\n%s", lpID, ee.Diag)
+		}
+	}
+	if inj.Stats.DroppedNulls.Load() == 0 {
+		t.Fatal("injector dropped no nulls; the deadlock was not induced")
+	}
+	settleGoroutines(t, base)
+}
+
 // TestChaosBackpressureInboxCapOne pins the bounded-inbox deadlock-freedom
 // claim at its most hostile setting: capacity-1 inboxes, delay chaos
 // holding events back, and partition counts that include a 2-LP cycle
@@ -236,5 +280,71 @@ func TestChaosDeterministicReplay(t *testing.T) {
 	// A different LP id must draw from an independent stream.
 	if t3 := script(chaos.New(cfg).Factory()(5)); t3 == t1 {
 		t.Fatal("different LP ids produced identical fault streams")
+	}
+}
+
+// TestLPHJChaosSweepBitExact is the lp-hj twin of
+// TestChaosNeverSilentlyWrong, sweeping the partition counts where the
+// fused engine matters (K up to 64, far above the worker count): 200
+// seeded runs under message chaos — delays, duplicated nulls, and
+// kill-and-restart from in-run checkpoints — each either bit-exact
+// against the sequential oracle or a loud structured failure. Slices
+// run mutually exclusive per LP, so the same deterministic interceptor
+// contract applies unchanged.
+func TestLPHJChaosSweepBitExact(t *testing.T) {
+	circuits := []*circuit.Circuit{
+		circuit.FullAdder(),
+		circuit.KoggeStone(8),
+		circuit.KoggeStone(16),
+		circuit.ParityChain(24),
+	}
+	partitions := []int{1, 2, 8, 64}
+
+	base := runtime.NumGoroutine()
+	runs, failures, restarts := 0, 0, int64(0)
+	for seed := int64(0); runs < 200; seed++ {
+		c := circuits[int(seed)%len(circuits)]
+		k := partitions[int(seed)%len(partitions)]
+		stim := circuit.RandomStimulus(c, 4, c.SettleTime()+10, seed)
+		want := seqReference(t, c, stim)
+
+		inj := chaos.New(chaos.Config{
+			Seed:        seed,
+			DelayProb:   0.4,
+			DupNullProb: 0.3,
+			KillProb:    0.05,
+			MaxKills:    2,
+		})
+		eng := core.NewLPHJIntercepted(core.Options{
+			Partitions: k,
+			Workers:    4,
+			Paranoid:   true,
+		}, inj.Factory())
+
+		got, err := core.Supervise(context.Background(), eng, c, stim,
+			core.SuperviseConfig{Timeout: 30 * time.Second, StallTimeout: 10 * time.Second})
+		runs++
+		if err != nil {
+			var ee *core.EngineError
+			if !errors.As(err, &ee) {
+				t.Fatalf("seed %d (%s k=%d): unstructured failure: %v", seed, c.Name, k, err)
+			}
+			failures++
+			continue
+		}
+		restarts += got.LP.Restarts
+		if ok, diff := core.SameOutputs(want, got); !ok {
+			t.Fatalf("seed %d (%s k=%d): SILENTLY WRONG under chaos %s: %s",
+				seed, c.Name, k, inj.Stats.String(), diff)
+		}
+	}
+	settleGoroutines(t, base)
+	t.Logf("%d lp-hj chaos runs: %d verified, %d failed loudly, %d kill-and-restarts survived",
+		runs, runs-failures, failures, restarts)
+	if failures > runs/10 {
+		t.Fatalf("%d/%d chaos runs failed; these fault classes should verify", failures, runs)
+	}
+	if restarts == 0 {
+		t.Fatal("kill chaos never exercised the checkpoint restart path")
 	}
 }

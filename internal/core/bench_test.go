@@ -88,3 +88,43 @@ func BenchmarkProfileMultiplier6(b *testing.B) {
 		}
 	}
 }
+
+// benchLPFamily measures a whole over-decomposed run (K partitions on a
+// few workers) of one lp-family engine: the goroutine-per-LP engine vs
+// the fused task-per-LP engine on the same circuit, stimulus and
+// partition plan. Allocs/op is the headline here — the fused engine's
+// idle LPs must not pay goroutine or channel costs.
+func benchLPFamily(b *testing.B, name string, k int) {
+	c := circuit.KoggeStone(64)
+	stim := circuit.RandomStimulus(c, 20, c.SettleTime()+10, 1)
+	e, err := NewEngine(name, Options{Workers: 4, Partitions: k, DiscardOutputs: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(c, stim); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLPGoroutineK64(b *testing.B) { benchLPFamily(b, "lp", 64) }
+func BenchmarkLPHJK64(b *testing.B)       { benchLPFamily(b, "lp-hj", 64) }
+
+func BenchmarkLPHJK64NoAff(b *testing.B) {
+	c := circuit.KoggeStone(64)
+	stim := circuit.RandomStimulus(c, 20, c.SettleTime()+10, 1)
+	e, err := NewEngine("lp-hj", Options{Workers: 4, Partitions: 64, DiscardOutputs: true, NoAffinity: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(c, stim); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

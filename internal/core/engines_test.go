@@ -28,6 +28,10 @@ func testEngines(workers int) []Engine {
 		NewActor(Options{Workers: workers, Paranoid: true}),
 		NewLP(Options{Workers: workers, Paranoid: true}),
 		NewLP(Options{Partitions: 3, Paranoid: true}),
+		NewLPHJ(Options{Workers: workers, Paranoid: true}),
+		NewLPHJ(Options{Workers: workers, Partitions: 3, Paranoid: true}),
+		NewLPHJ(Options{Workers: 2, Partitions: 16, Paranoid: true}),
+		NewLPHJ(Options{Workers: workers, Partitions: 5, Paranoid: true, NoAffinity: true}),
 	}
 }
 
@@ -316,6 +320,7 @@ func TestEngineNames(t *testing.T) {
 		"galois-ordered": NewOrdered(Options{}),
 		"actor":          NewActor(Options{}),
 		"lp":             NewLP(Options{}),
+		"lp-hj":          NewLPHJ(Options{}),
 	}
 	for name, e := range want {
 		if e.Name() != name {

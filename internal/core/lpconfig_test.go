@@ -1,0 +1,66 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"hjdes/internal/circuit"
+)
+
+// TestLPOptionValidation checks that the lp-family engines reject
+// nonsensical Options up front with a structured, non-retryable
+// *EngineError (Reason=FailConfig) instead of a late panic, and that
+// sane defaults still run.
+func TestLPOptionValidation(t *testing.T) {
+	c := circuit.FullAdder()
+	stim := circuit.VectorWaves(c, randomWaves(c, 2, 9), c.SettleTime()+10)
+	factories := map[string]func(Options) Engine{
+		"lp":    NewLP,
+		"lp-hj": NewLPHJ,
+	}
+	cases := []struct {
+		name   string
+		opts   Options
+		wantOK bool
+	}{
+		{"defaults", Options{}, true},
+		{"explicit", Options{Workers: 2, Partitions: 3, LPInboxCap: 8}, true},
+		{"negative-inbox", Options{LPInboxCap: -1}, false},
+		{"huge-inbox", Options{LPInboxCap: 1 << 30}, false},
+		{"negative-partitions", Options{Partitions: -4}, false},
+		{"huge-partitions", Options{Partitions: 1 << 28}, false},
+		{"negative-workers", Options{Workers: -2}, false},
+	}
+	for engName, factory := range factories {
+		for _, tc := range cases {
+			t.Run(engName+"/"+tc.name, func(t *testing.T) {
+				res, err := factory(tc.opts).Run(c, stim)
+				if tc.wantOK {
+					if err != nil {
+						t.Fatalf("valid options rejected: %v", err)
+					}
+					if res.TotalEvents == 0 {
+						t.Fatal("run processed no events")
+					}
+					return
+				}
+				if err == nil {
+					t.Fatal("nonsensical options accepted")
+				}
+				var ee *EngineError
+				if !errors.As(err, &ee) {
+					t.Fatalf("error is not an *EngineError: %v", err)
+				}
+				if ee.Reason != FailConfig {
+					t.Fatalf("Reason = %q, want %q (err: %v)", ee.Reason, FailConfig, err)
+				}
+				if ee.Engine != engName {
+					t.Fatalf("Engine = %q, want %q", ee.Engine, engName)
+				}
+				if Retryable(err) {
+					t.Fatalf("config errors must not be retryable: %v", err)
+				}
+			})
+		}
+	}
+}

@@ -95,6 +95,9 @@ func (e *lpEngine) RunFrom(ctx context.Context, c *circuit.Circuit, stim *circui
 
 func (e *lpEngine) run(ctx context.Context, c *circuit.Circuit, stim *circuit.Stimulus, rs *ResumeState, capture bool) (*Result, ResumeState, error) {
 	start := time.Now()
+	if err := validateLPOptions(e.Name(), e.opts); err != nil {
+		return nil, ResumeState{}, err
+	}
 	plan, err := partition.Partition(c, e.partitions())
 	if err != nil {
 		return nil, ResumeState{}, err

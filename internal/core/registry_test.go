@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -86,5 +87,39 @@ func TestRegisterEngineDuplicatePanics(t *testing.T) {
 	}
 	if eng.Name() != NewSequential(Options{}).Name() {
 		t.Fatalf("duplicate registration replaced the original: got %q", eng.Name())
+	}
+}
+
+// TestEngineNamesSorted is the regression test for the -engine help
+// text shared by dessim and paperbench: the listing must be sorted,
+// stable across calls, include every engine family the binaries
+// document, and hand out a fresh copy each time (a caller mutating the
+// returned slice must not corrupt the registry's view).
+func TestEngineNamesSorted(t *testing.T) {
+	names := EngineNames()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("EngineNames not sorted: %v", names)
+	}
+	for _, want := range []string{"seq", "hj", "lp", "lp-hj", "galois", "actor", "timewarp"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("EngineNames missing %q: %v", want, names)
+		}
+	}
+	names[0] = "zzz-mutated"
+	again := EngineNames()
+	if !sort.StringsAreSorted(again) {
+		t.Fatalf("EngineNames affected by caller mutation: %v", again)
+	}
+	for _, n := range again {
+		if n == "zzz-mutated" {
+			t.Fatalf("EngineNames returned a shared slice: %v", again)
+		}
 	}
 }

@@ -17,6 +17,7 @@ const (
 	FailTimeout = "timeout" // the run exceeded SuperviseConfig.Timeout (or the ctx deadline)
 	FailStall   = "stall"   // the watchdog saw no progress for SuperviseConfig.StallTimeout
 	FailCancel  = "cancel"  // the caller's context was canceled
+	FailConfig  = "config"  // the engine rejected its Options up front (never retryable)
 )
 
 // EngineError is the structured failure of a supervised engine run: which

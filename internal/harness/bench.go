@@ -4,9 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
 
 	"hjdes/internal/core"
 	"hjdes/internal/obs"
+	"hjdes/internal/stats"
 )
 
 // BenchSchema is the version of the BenchRecord JSON shape. History:
@@ -35,6 +38,7 @@ type BenchRecord struct {
 	CI95S       float64     `json:"ci95_s"`
 	AllocsPerOp uint64      `json:"allocs_per_op"`
 	BytesPerOp  uint64      `json:"bytes_per_op"`
+	Partitions  int         `json:"partitions,omitempty"`
 	EventMsgs   int64       `json:"event_msgs,omitempty"`
 	NullMsgs    int64       `json:"null_msgs,omitempty"`
 	NMR         float64     `json:"nmr,omitempty"`
@@ -58,6 +62,7 @@ func record(circuit string, m *Measurement) BenchRecord {
 		BytesPerOp:  m.BytesPerOp,
 	}
 	if m.Best != nil && m.Best.LP.Partitions > 0 {
+		r.Partitions = m.Best.LP.Partitions
 		r.EventMsgs = m.Best.LP.EventMsgs
 		r.NullMsgs = m.Best.LP.NullMsgs
 		r.NMR = m.Best.LP.NullRatio()
@@ -75,9 +80,9 @@ func record(circuit string, m *Measurement) BenchRecord {
 }
 
 // BenchSweep runs the bench-trajectory suite: per circuit, the seq
-// baseline once, then the hj and lp engines across the configured worker
-// counts (the lp engine with one partition per worker). It returns one
-// record per configuration, in a deterministic order.
+// baseline once, then the hj, lp and lp-hj engines across the configured
+// worker counts (the lp-family engines with one partition per worker).
+// It returns one record per configuration, in a deterministic order.
 func BenchSweep(cfg Config) ([]BenchRecord, error) {
 	// Every bench spec inherits the config's resilient envelope.
 	measure := func(spec Spec) (*Measurement, error) {
@@ -118,6 +123,99 @@ func BenchSweep(cfg Config) ([]BenchRecord, error) {
 				return nil, err
 			}
 			records = append(records, record(pc.Name, mLP))
+			mLPHJ, err := measure(Spec{Label: fmt.Sprintf("%s/lp-hj/w%d", pc.Name, w), Circuit: c, Stim: stim,
+				Factory: factory("lp-hj", core.Options{Partitions: w}), Workers: w,
+				Repeats: cfg.repeats(), Timeout: cfg.Timeout})
+			if err != nil {
+				return nil, err
+			}
+			records = append(records, record(pc.Name, mLPHJ))
+		}
+	}
+	return records, nil
+}
+
+// LPKSweep is the over-decomposition trajectory: the goroutine lp engine
+// against the fused lp-hj engine at a fixed worker count (cfg.MaxWorkers)
+// across rising partition counts K. At K ≈ workers the two are
+// architecturally similar; the sweep exists to show the regime K >>
+// workers, where the goroutine engine pays one blocked goroutine (stack,
+// channel, park/unpark) per idle LP while lp-hj pays one unscheduled
+// IndexedTask (a mailbox pointer and an atomic flag). Records carry
+// Partitions so a trajectory diff can tell the K points apart.
+//
+// Unlike BenchSweep this measures the engines hand-rolled and
+// interleaved — repeat i of every engine runs before repeat i+1 of any —
+// because the comparison is a head-to-head of two engines whose true
+// difference is a few percent: block-wise measurement (all of one
+// engine's repeats, then the other's) lets slow drift in machine load
+// bias one side, which on small hosts is larger than the effect under
+// measurement. For the same reason the collector is paced off for the
+// duration of the sweep with an explicit GC at every repeat boundary:
+// both engines recycle hot-path buffers through sync.Pool-backed
+// arenas, which the collector wipes, so with automatic GC the allocs/op
+// column measures collector timing relative to pool occupancy — noise
+// an order of magnitude above the engines' structural difference —
+// instead of what the engines allocate. The explicit GC leaves those
+// pools empty, so an uncounted warmup run follows it before each
+// measured run: the measurement then reflects warm steady state (the
+// regime a pooled engine actually serves from) rather than charging
+// whichever engine keeps the larger transient working set for
+// repopulating the pools from scratch.
+func LPKSweep(cfg Config, ks []int) ([]BenchRecord, error) {
+	w := cfg.MaxWorkers
+	if w < 1 {
+		w = 1
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	names := []string{"lp", "lp-hj"}
+	var records []BenchRecord
+	for _, pc := range cfg.circuits() {
+		c := pc.Build()
+		stim := cfg.stimulus(c, pc)
+		for _, k := range ks {
+			ms := make([]*Measurement, len(names))
+			for i, name := range names {
+				ms[i] = &Measurement{
+					Label:    fmt.Sprintf("%s/%s/w%d/k%d", pc.Name, name, w, k),
+					Engine:   name,
+					Workers:  w,
+					Times:    stats.New(),
+					Attempts: 1,
+				}
+			}
+			engines := make([]core.Engine, len(names))
+			for i, name := range names {
+				engines[i] = factory(name, core.Options{Partitions: k})(w)
+			}
+			var before, after runtime.MemStats
+			for rep := 0; rep < cfg.repeats(); rep++ {
+				for i, e := range engines {
+					m := ms[i]
+					runtime.GC()
+					if _, err := e.Run(c, stim); err != nil { // uncounted pool-warming run
+						return nil, fmt.Errorf("harness: %s warmup %d: %w", m.Label, rep, err)
+					}
+					runtime.ReadMemStats(&before)
+					res, err := e.Run(c, stim)
+					runtime.ReadMemStats(&after)
+					if err != nil {
+						return nil, fmt.Errorf("harness: %s run %d: %w", m.Label, rep, err)
+					}
+					m.Events = res.TotalEvents
+					m.Times.Add(res.Elapsed.Seconds())
+					m.AllocsPerOp += after.Mallocs - before.Mallocs
+					m.BytesPerOp += after.TotalAlloc - before.TotalAlloc
+					if m.Best == nil || res.Elapsed < m.Best.Elapsed {
+						m.Best = res
+					}
+				}
+			}
+			for _, m := range ms {
+				m.AllocsPerOp /= uint64(cfg.repeats())
+				m.BytesPerOp /= uint64(cfg.repeats())
+				records = append(records, record(pc.Name, m))
+			}
 		}
 	}
 	return records, nil
@@ -135,11 +233,15 @@ func WriteBenchJSON(w io.Writer, records []BenchRecord) error {
 func BenchTable(records []BenchRecord) *Table {
 	t := &Table{
 		Title: "Bench trajectory: engines × workers (min/mean/ci95 seconds, allocs per run, lp null-message ratio)",
-		Headers: []string{"circuit", "engine", "workers", "events", "min_s", "mean_s", "ci95_s",
+		Headers: []string{"circuit", "engine", "workers", "parts", "events", "min_s", "mean_s", "ci95_s",
 			"allocs/op", "KB/op", "event_msgs", "null_msgs", "nmr"},
 	}
 	for _, r := range records {
-		t.AddRow(r.Circuit, r.Engine, fmt.Sprint(r.Workers), fmt.Sprint(r.Events),
+		parts := "-"
+		if r.Partitions > 0 {
+			parts = fmt.Sprint(r.Partitions)
+		}
+		t.AddRow(r.Circuit, r.Engine, fmt.Sprint(r.Workers), parts, fmt.Sprint(r.Events),
 			FmtSeconds(r.MinS), FmtSeconds(r.MeanS), FmtSeconds(r.CI95S),
 			fmt.Sprint(r.AllocsPerOp), fmt.Sprintf("%.0f", float64(r.BytesPerOp)/1024),
 			fmt.Sprint(r.EventMsgs), fmt.Sprint(r.NullMsgs), fmt.Sprintf("%.3f", r.NMR))

@@ -462,13 +462,30 @@ func OrderedExp(cfg Config) (*Table, error) {
 // partition count is swept over the worker counts, reporting the
 // partition quality (edge-cut fraction, load imbalance) and the
 // null-message ratio — the canonical CMB overhead metric — next to the
-// runtime and the shared-memory HJ engine at the same parallelism.
+// runtime and the shared-memory HJ engine at the same parallelism. The
+// lp-hj column is the fused engine (§15): the same partitions as LP
+// tasks on the hj work-stealing runtime instead of goroutines.
 func LPExp(cfg Config) (*Table, error) {
 	t := &Table{
 		Title: fmt.Sprintf("Extension: partitioned logical-process engine (CMB null messages; scale=%.3g, repeats=%d)",
 			cfg.Scale, cfg.repeats()),
-		Headers: []string{"circuit", "lps", "lp_min_s", "hj_min_s", "lp/hj",
+		Headers: []string{"circuit", "lps", "lp_min_s", "lphj_min_s", "hj_min_s", "lp/lphj", "lphj/hj",
 			"edge_cut_%", "imbalance", "event_msgs", "null_msgs", "null_ratio"},
+	}
+	// Measure an lp-family engine by hand to capture its stats.
+	bestOf := func(name string, k int, c *circuit.Circuit, stim *circuit.Stimulus) (*core.Result, error) {
+		e := factory(name, core.Options{Partitions: k})(k)
+		var best *core.Result
+		for i := 0; i < cfg.repeats(); i++ {
+			res, err := e.Run(c, stim)
+			if err != nil {
+				return nil, err
+			}
+			if best == nil || res.Elapsed < best.Elapsed {
+				best = res
+			}
+		}
+		return best, nil
 	}
 	for _, pc := range cfg.circuits() {
 		c := pc.Build()
@@ -478,22 +495,20 @@ func LPExp(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			// Measure the LP engine by hand to capture its stats.
-			e := factory("lp", core.Options{Partitions: k})(k)
-			var best *core.Result
-			for i := 0; i < cfg.repeats(); i++ {
-				res, err := e.Run(c, stim)
-				if err != nil {
-					return nil, err
-				}
-				if best == nil || res.Elapsed < best.Elapsed {
-					best = res
-				}
+			best, err := bestOf("lp", k, c, stim)
+			if err != nil {
+				return nil, err
+			}
+			bestHJ, err := bestOf("lp-hj", k, c, stim)
+			if err != nil {
+				return nil, err
 			}
 			s := best.LP
 			t.AddRow(pc.Name, fmt.Sprint(k),
-				FmtSeconds(best.Elapsed.Seconds()), FmtSeconds(hjM.MinSeconds()),
-				fmt.Sprintf("%.2fx", best.Elapsed.Seconds()/hjM.MinSeconds()),
+				FmtSeconds(best.Elapsed.Seconds()), FmtSeconds(bestHJ.Elapsed.Seconds()),
+				FmtSeconds(hjM.MinSeconds()),
+				fmt.Sprintf("%.2fx", best.Elapsed.Seconds()/bestHJ.Elapsed.Seconds()),
+				fmt.Sprintf("%.2fx", bestHJ.Elapsed.Seconds()/hjM.MinSeconds()),
 				fmt.Sprintf("%.1f", 100*s.EdgeCut), fmt.Sprintf("%.2f", s.Imbalance),
 				fmt.Sprint(s.EventMsgs), fmt.Sprint(s.NullMsgs),
 				fmt.Sprintf("%.3f", s.NullRatio()))

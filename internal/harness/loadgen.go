@@ -45,7 +45,7 @@ func (c *LoadConfig) fill() {
 		c.JobsPer = 4
 	}
 	if len(c.Engines) == 0 {
-		c.Engines = []string{"seq", "hj", "lp"}
+		c.Engines = []string{"seq", "hj", "lp", "lp-hj"}
 	}
 	if c.Circuit == "" {
 		c.Circuit = "koggestone-16"

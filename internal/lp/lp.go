@@ -79,6 +79,7 @@ import (
 	"sync/atomic"
 
 	"hjdes/internal/circuit"
+	"hjdes/internal/hj"
 	"hjdes/internal/obs"
 	"hjdes/internal/partition"
 	"hjdes/internal/queue"
@@ -136,6 +137,10 @@ type Config struct {
 	// CaptureFinal copies every node's settled per-port values into
 	// Result.FinalVals after a clean termination, for checkpointing.
 	CaptureFinal bool
+	// NoAffinity disables home-worker routing in RunHJ (hj mode only):
+	// LP slices are pushed to the spawning worker's own deque instead of
+	// the destination LP's home mailbox. Ignored by Run.
+	NoAffinity bool
 }
 
 // DefaultInboxCap is the default per-LP inbox bound (in batches): small
@@ -146,7 +151,16 @@ const DefaultInboxCap = 1024
 // buffers outgoing messages per destination and ships them as a single
 // channel send when the buffer fills or the LP reaches a blocking point,
 // amortizing channel synchronization over up to batchCap messages.
-const batchCap = 64
+// hjBatchCap is the hj-mode limit: run-to-completion slices emit long
+// bursts without ever blocking, so a larger batch amortizes the mailbox
+// CAS, the scheduled-flag check, and — most of all — the task enqueue
+// and worker wakeup over 4× the messages. Goroutine mode keeps the
+// smaller cap: its sends are also the backpressure points, and a large
+// cap there just delays the co-routining between producer and consumer.
+const (
+	batchCap   = 64
+	hjBatchCap = 256
+)
 
 // Hot-path arenas, shared by every Run in the process (sync.Pool), so
 // steady-state simulation recycles its buffers across runs instead of
@@ -161,6 +175,21 @@ var (
 // Run folds it into the context's cause; it only escapes through
 // PanicError-free canceled runs.
 var ErrCanceled = errors.New("lp: run canceled")
+
+// DeadlockError reports a run that ended with unterminated nodes. The
+// goroutine transport can only reach this state through a logic bug —
+// a starved LP blocks on its inbox and the stall watchdog fires first —
+// but in hj mode global starvation (e.g. suppressed null messages)
+// quiesces the runtime instead: every LP yields with an empty mailbox,
+// no slice is scheduled, and the finish scope completes. Collection
+// then detects the deadlock immediately and names the first
+// unterminated node, so the engine can report a structured stall with
+// diagnostics instead of hanging until a watchdog.
+type DeadlockError struct{ Node int32 }
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("lp: simulation ended with node %d not terminated", e.Node)
+}
 
 // PanicError is the structured failure of one logical process: which LP
 // panicked, the recovered value, and the stack of the panicking
@@ -405,6 +434,11 @@ type proc struct {
 	ws        queue.Deque[int32]
 	remaining int // owned nodes that have not terminated
 
+	// drainWS scratch, reused across calls (owner-only): ready events
+	// extracted from one node, in nondecreasing timestamp order.
+	evScratch     []event
+	evPortScratch []int32
+
 	eventMsgs  int64
 	nullMsgs   int64
 	piggyNulls int64
@@ -414,6 +448,22 @@ type proc struct {
 
 	trace     *obs.Ring      // flight-recorder shard; nil when tracing is off
 	batchHist *obs.Histogram // live batch-size histogram; nil without a registry
+
+	// hj-mode transport (RunHJ): the lock-free mailbox replaces inbox,
+	// sched is the at-most-one-pending-task dedup flag, and hctx is the
+	// current slice's runtime context (owner-only, set for the duration
+	// of a slice). started latches the one-time input flood.
+	mb          mailbox
+	mbDepth     atomic.Int32
+	mailFree    *mail // owner-only free list of drained mail nodes
+	mailFreeN   int32
+	sched       atomic.Bool
+	hctx        *hj.Ctx
+	started     bool
+	procEvents  int64 // events processed over the whole run (slice metrics)
+	lastHorizon int64
+	sliceHist   *obs.Histogram // hj mode: events per slice
+	windowHist  *obs.Histogram // hj mode: safe-horizon advance per slice
 
 	// Diagnostics, written by this LP and read by Probe goroutines.
 	progress   atomic.Uint64 // messages applied + node activations
@@ -433,6 +483,14 @@ type run struct {
 	procs []*proc
 	inWS  []bool  // workset membership, touched only by the owner LP
 	lbOut []int64 // per-node output bound, touched only by the owner LP
+
+	// hj mode (RunHJ): LPs run as indexed tasks on rt instead of
+	// goroutines. home maps each LP to its home worker (nil without
+	// affinity); body is the one shared IndexedTask value so respawns
+	// allocate no closure.
+	hj   bool
+	home []int32
+	body hj.IndexedTask
 }
 
 // Probe lets an external watchdog observe a Run in flight. Attach it via
@@ -479,6 +537,11 @@ func (pr *Probe) Snapshot() string {
 		if c := p.minClock.Load(); c < TimeInfinity {
 			clock = fmt.Sprintf("%d", c)
 		}
+		if r.hj {
+			fmt.Fprintf(&b, "lp %d: state=%s clock=%s mailbox=%d live-nodes=%d progress=%d\n",
+				p.id, state, clock, p.mbDepth.Load(), p.remainingA.Load(), p.progress.Load())
+			continue
+		}
 		fmt.Fprintf(&b, "lp %d: state=%s clock=%s inbox=%d/%d live-nodes=%d progress=%d\n",
 			p.id, state, clock, len(p.inbox), cap(p.inbox), p.remainingA.Load(), p.progress.Load())
 	}
@@ -488,6 +551,27 @@ func (pr *Probe) Snapshot() string {
 // Run simulates the circuit under the stimulus with one logical process
 // per partition of the plan.
 func Run(c *circuit.Circuit, stim *circuit.Stimulus, plan *partition.Plan, cfg Config) (*Result, error) {
+	r, err := build(c, stim, plan, cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	var wg sync.WaitGroup
+	for _, p := range r.procs {
+		wg.Add(1)
+		go func(p *proc) {
+			defer wg.Done()
+			p.main()
+		}(p)
+	}
+	wg.Wait()
+	return r.collect(c, plan)
+}
+
+// build constructs the shared run state: one proc per partition with
+// resolved ports, fanouts, channels and diagnostics. It is the common
+// front half of Run (goroutine transport) and RunHJ (hj tasks); hjMode
+// selects lock-free mailboxes instead of bounded inbox channels.
+func build(c *circuit.Circuit, stim *circuit.Stimulus, plan *partition.Plan, cfg Config, hjMode bool) (*run, error) {
 	if err := stim.Validate(c); err != nil {
 		return nil, err
 	}
@@ -497,6 +581,7 @@ func Run(c *circuit.Circuit, stim *circuit.Stimulus, plan *partition.Plan, cfg C
 	}
 	r := &run{
 		cfg:   cfg,
+		hj:    hjMode,
 		nodes: make([]node, len(c.Nodes)),
 		owner: make([]int32, len(c.Nodes)),
 		inWS:  make([]bool, len(c.Nodes)),
@@ -520,14 +605,29 @@ func Run(c *circuit.Circuit, stim *circuit.Stimulus, plan *partition.Plan, cfg C
 		r.procs[i] = &proc{
 			id:      int32(i),
 			r:       r,
-			inbox:   make(chan []Msg, inboxCap),
 			outBuf:  make([][]Msg, plan.K),
 			inEdges: make(map[int32][]inEdge),
+			// Pre-sized so steady-state drainWS extraction never grows
+			// through the small append ladder (profiling showed those
+			// regrows as the dominant per-run lp allocation after the
+			// partition plan).
+			evScratch:     make([]event, 0, 32),
+			evPortScratch: make([]int32, 0, 32),
+		}
+		if !hjMode {
+			// hj mode replaces the bounded channel with a lock-free
+			// mailbox (mailbox.go); allocating K unused channels here
+			// would dominate allocs/op at high partition counts.
+			r.procs[i].inbox = make(chan []Msg, inboxCap)
 		}
 		r.procs[i].ws.SetArena(&wsArena)
 		r.procs[i].trace = cfg.Trace.Ring(i) // nil recorder → nil ring
 		if cfg.Metrics != nil {
 			r.procs[i].batchHist = cfg.Metrics.Histogram("lp.batch_size")
+			if hjMode {
+				r.procs[i].sliceHist = cfg.Metrics.Histogram("lp.slice_events")
+				r.procs[i].windowHist = cfg.Metrics.Histogram("lp.safe_window")
+			}
 		}
 		if cfg.NewInterceptor != nil {
 			r.procs[i].ic = cfg.NewInterceptor(i)
@@ -609,17 +709,14 @@ func Run(c *circuit.Circuit, stim *circuit.Stimulus, plan *partition.Plan, cfg C
 	for _, p := range r.procs {
 		p.remainingA.Store(int32(p.remaining))
 	}
+	return r, nil
+}
 
-	var wg sync.WaitGroup
-	for _, p := range r.procs {
-		wg.Add(1)
-		go func(p *proc) {
-			defer wg.Done()
-			p.main()
-		}(p)
-	}
-	wg.Wait()
-
+// collect assembles the run's Result once no LP can touch shared state
+// anymore (goroutines joined, or the hj finish scope completed cleanly),
+// recycling the arena-backed rings for later runs.
+func (r *run) collect(c *circuit.Circuit, plan *partition.Plan) (*Result, error) {
+	cfg := r.cfg
 	res := &Result{
 		NodeEvents: make([]int64, len(r.nodes)),
 		Stats: Stats{
@@ -658,7 +755,7 @@ func Run(c *circuit.Circuit, stim *circuit.Stimulus, plan *partition.Plan, cfg C
 	for i := range r.nodes {
 		n := &r.nodes[i]
 		if !n.nullSent {
-			return nil, fmt.Errorf("lp: simulation ended with node %d not terminated", n.id)
+			return nil, &DeadlockError{Node: n.id}
 		}
 		res.TotalEvents += n.events
 		res.NodeEvents[i] = n.events
@@ -873,21 +970,29 @@ func (p *proc) flushHeld() {
 // when it reaches batchCap. Messages to one destination stay in append
 // order, so per-port FIFO is preserved through the batching layer.
 func (p *proc) rawSend(to int32, m Msg) {
+	limit := batchCap
+	if p.r.hj {
+		limit = hjBatchCap
+	}
 	buf := p.outBuf[to]
 	if buf == nil {
-		buf = msgArena.Get(batchCap)
+		buf = msgArena.Get(limit)
 	}
 	buf = append(buf, m)
 	p.outBuf[to] = buf
-	if len(buf) >= batchCap {
+	if len(buf) >= limit {
 		p.flushTo(to)
 	}
 }
 
-// flushTo ships the pending batch for LP to as one channel send. If the
-// inbox is full the sender drains its own inbox while waiting, so cyclic
-// backpressure cannot deadlock: some LP can always make progress.
-// Cancellation unwinds the LP from here via the lpCanceled sentinel.
+// flushTo ships the pending batch for LP to. Goroutine mode performs one
+// channel send; if the inbox is full the sender drains its own inbox
+// while waiting, so cyclic backpressure cannot deadlock: some LP can
+// always make progress. Cancellation unwinds the LP from here via the
+// lpCanceled sentinel. In hj mode the batch is pushed onto the
+// destination's lock-free mailbox and — when no slice for that LP is
+// pending or running (the scheduled-flag dedup) — a task for it is
+// spawned; the sender never blocks.
 func (p *proc) flushTo(to int32) {
 	buf := p.outBuf[to]
 	if len(buf) == 0 {
@@ -898,6 +1003,15 @@ func (p *proc) flushTo(to int32) {
 	p.trace.Record(obs.EvSend, int64(to), int64(len(buf)))
 	if p.batchHist != nil {
 		p.batchHist.Observe(int(p.id), float64(len(buf)))
+	}
+	if p.r.hj {
+		q := p.r.procs[to]
+		q.mb.push(p.takeMail(buf))
+		q.mbDepth.Add(1)
+		if q.sched.CompareAndSwap(false, true) {
+			p.r.enqueue(p.hctx, to)
+		}
+		return
 	}
 	box := p.r.procs[to].inbox
 	select {
@@ -981,9 +1095,19 @@ func (p *proc) drainInbox() {
 
 // processLocal runs the workset to exhaustion: Algorithm 1 restricted to
 // the LP's own nodes.
-func (p *proc) processLocal() {
-	var evs []event
-	var evPorts []int32
+func (p *proc) processLocal() { p.drainWS(false) }
+
+// drainWS runs the workset to exhaustion. With widened set, each port
+// fed by a locally owned node uses max(port clock, lbOut(feeder)) as its
+// arrival bound instead of the raw clock — lbOut is a valid lower bound
+// on everything the feeder may still emit, so events below it are just
+// as safe to process, and a run-to-completion slice can keep going
+// where the raw clocks alone would stall on a local round trip. The
+// caller must have called relax() first; bounds only grow as events
+// process, so the snapshot stays conservative throughout the drain.
+func (p *proc) drainWS(widened bool) {
+	evs, evPorts := p.evScratch, p.evPortScratch
+	defer func() { p.evScratch, p.evPortScratch = evs, evPorts }()
 	for {
 		id, ok := p.ws.PopBack()
 		if !ok {
@@ -999,6 +1123,9 @@ func (p *proc) processLocal() {
 		// (ties by port index, like the in-memory engines).
 		evs, evPorts = evs[:0], evPorts[:0]
 		clock := n.localClock()
+		if widened {
+			clock = p.widenedClock(n)
+		}
 		for {
 			best := int32(-1)
 			bestTime := clock
@@ -1033,6 +1160,7 @@ func (p *proc) processLocal() {
 func (p *proc) process(n *node, portID int32, ev event) {
 	n.inVal[portID] = ev.val
 	n.events++
+	p.procEvents++
 	switch n.kind {
 	case circuit.Output:
 		if p.r.cfg.Record {

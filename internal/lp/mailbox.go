@@ -1,0 +1,109 @@
+package lp
+
+import (
+	"sync/atomic"
+)
+
+// Lock-free MPSC mailbox for the fused hj-scheduled LP mode (RunHJ).
+//
+// Each LP owns one mailbox; any peer LP (running on any hj worker) may
+// push a batch of messages into it concurrently, and only the owning
+// LP's current slice drains it. The structure is an intrusive Treiber
+// stack of mail nodes: producers CAS-push onto head, the consumer
+// Swap(nil)s the whole chain and reverses it, which restores exact push
+// order. Per-(node, port) FIFO — the ordering the receiving deques
+// depend on — follows because each destination port has exactly one
+// source LP, sends from one LP are pushed in send order, and the
+// reversal preserves that order globally.
+//
+// Node recycling is deliberately not a sync.Pool: a GC wipes pools
+// mid-run, which showed up in profiles as steady mail re-allocation
+// proportional to message volume. Instead each LP carves nodes from
+// private chunk slabs (one allocation per mailChunk sends) and keeps a
+// private free list of nodes it drained; both are owner-only (touched
+// inside the LP's slice), so a hit costs a pointer swap and no
+// synchronization. Nodes migrate sender→receiver and are reused for the
+// receiver's own sends; a pure sink LP just lets its overflow go to the
+// garbage collector. The batch slices the nodes carry keep cycling
+// through msgArena exactly as in the goroutine transport.
+
+// mail is one pushed batch, an intrusive stack link.
+type mail struct {
+	batch []Msg
+	next  *mail
+}
+
+// mailChunk is the slab size for sender-side node allocation; mailFreeCap
+// bounds the receiver-side free list (~24 B per node — the cap only
+// limits retention, nothing is preallocated).
+const (
+	mailChunk   = 256
+	mailFreeCap = 4096
+)
+
+// mailbox is the lock-free MPSC inbox of one hj-scheduled LP.
+type mailbox struct {
+	head atomic.Pointer[mail]
+}
+
+// push adds m to the mailbox. Safe from any goroutine.
+func (b *mailbox) push(m *mail) {
+	for {
+		old := b.head.Load()
+		m.next = old
+		if b.head.CompareAndSwap(old, m) {
+			return
+		}
+	}
+}
+
+// empty reports whether the mailbox currently holds no mail.
+func (b *mailbox) empty() bool { return b.head.Load() == nil }
+
+// drain detaches the entire chain and returns it in FIFO push order
+// (oldest first). Only the owning LP may call it.
+func (b *mailbox) drain() *mail {
+	m := b.head.Swap(nil)
+	var fifo *mail
+	for m != nil {
+		next := m.next
+		m.next = fifo
+		fifo = m
+		m = next
+	}
+	return fifo
+}
+
+// putMail and getMail are the unpooled node helpers (tests and one-off
+// callers); the engine path goes through the per-proc takeMail/freeMail.
+func putMail(m *mail) { m.batch, m.next = nil, nil }
+
+func getMail(batch []Msg) *mail { return &mail{batch: batch} }
+
+// takeMail fetches a node carrying batch from the LP's private free
+// list, carving a fresh chunk slab when it runs dry. Owner-only: call
+// only from p's own slice.
+func (p *proc) takeMail(batch []Msg) *mail {
+	m := p.mailFree
+	if m == nil {
+		chunk := make([]mail, mailChunk)
+		for i := range chunk[:mailChunk-1] {
+			chunk[i].next = &chunk[i+1]
+		}
+		m = &chunk[0]
+		p.mailFreeN = mailChunk
+	}
+	p.mailFree, p.mailFreeN = m.next, p.mailFreeN-1
+	m.batch, m.next = batch, nil
+	return m
+}
+
+// freeMail retires a drained node to the LP's private free list; beyond
+// the cap the node is simply dropped for the collector. Owner-only.
+func (p *proc) freeMail(m *mail) {
+	if p.mailFreeN >= mailFreeCap {
+		return
+	}
+	m.batch, m.next = nil, p.mailFree
+	p.mailFree, p.mailFreeN = m, p.mailFreeN+1
+}

@@ -29,6 +29,7 @@ const (
 	EvAbort           // speculative activity aborted; A = item
 	EvRollback        // Time Warp rollback; A = node, B = events undone
 	EvRound           // Time Warp BSP round barrier; A = round, B = GVT
+	EvSlice           // fused-LP run-to-completion slice; A = events processed, B = safe horizon
 )
 
 var kindNames = [...]string{
@@ -36,6 +37,7 @@ var kindNames = [...]string{
 	EvSend: "lp-send", EvRecv: "lp-recv", EvNull: "lp-null", EvBlock: "lp-block",
 	EvCheckpoint: "checkpoint", EvRestart: "restart",
 	EvCommit: "commit", EvAbort: "abort", EvRollback: "rollback", EvRound: "round",
+	EvSlice: "lp-slice",
 }
 
 func (k Kind) String() string {

@@ -133,13 +133,14 @@ func (s *Server) executor(shard int) {
 
 // poolable reports whether a job may run on a shared pooled runtime.
 // Trace and chaos wire per-run hooks into the runtime at construction,
-// and only the hj family consults Options.Runtime at all; hj-steal1
-// changes the runtime's steal policy, so it builds its own.
+// and only the hj family (including the fused lp-hj engine, whose clean
+// runs leave the runtime quiescent) consults Options.Runtime at all;
+// hj-steal1 changes the runtime's steal policy, so it builds its own.
 func poolable(spec JobSpec) bool {
 	if spec.Trace || spec.Chaos != "" {
 		return false
 	}
-	return spec.Engine == "hj" || spec.Engine == "hj-noaff"
+	return spec.Engine == "hj" || spec.Engine == "hj-noaff" || spec.Engine == "lp-hj"
 }
 
 // runJob executes one admitted job through the resilient envelope.
@@ -178,13 +179,17 @@ func (s *Server) runJob(shard int, j *job) {
 	// plane (inbox interceptors), everything else takes scheduler hooks.
 	var eng core.Engine
 	switch {
-	case j.spec.Chaos != "" && j.spec.Engine == "lp":
+	case j.spec.Chaos != "" && (j.spec.Engine == "lp" || j.spec.Engine == "lp-hj"):
 		ccfg, err := chaos.ParseSpec(j.spec.Chaos)
 		if err != nil {
 			fail(err)
 			return
 		}
-		eng = core.NewLPIntercepted(opts, chaos.New(ccfg).Factory())
+		if j.spec.Engine == "lp-hj" {
+			eng = core.NewLPHJIntercepted(opts, chaos.New(ccfg).Factory())
+		} else {
+			eng = core.NewLPIntercepted(opts, chaos.New(ccfg).Factory())
+		}
 	case j.spec.Chaos != "":
 		ccfg, err := chaos.ParseSchedSpec(j.spec.Chaos)
 		if err != nil {
