@@ -31,7 +31,9 @@ import (
 var (
 	circuitFlag = flag.String("circuit", "koggestone-64", "circuit spec: "+strings.Join(cspec.Known(), " | "))
 	engineFlag  = flag.String("engine", "hj", "engine: "+strings.Join(core.EngineNames(), " | "))
-	twWindow    = flag.Int64("tw-window", 0, "timewarp: speculation window (0 = unbounded)")
+	twWindow    = flag.Int64("tw-window", 0, "timewarp/tw-hj: speculation window (0 = unbounded)")
+	twSaveEvery = flag.Int("tw-save-every", 0, "tw-hj: incremental state-saving interval (save pre-state every Nth event; 0 = every event)")
+	twAdaptive  = flag.Bool("tw-adaptive", false, "tw-hj: let the GVT sweep widen/narrow the speculation window from the observed rollback fraction")
 	workersFlag = flag.Int("workers", 0, "worker count for parallel engines (0 = GOMAXPROCS)")
 	partsFlag   = flag.Int("partitions", 0, "lp: logical-process count (0 = workers)")
 	wavesFlag   = flag.Int("waves", 10, "number of random input waves")
@@ -80,20 +82,22 @@ func main() {
 		fatalf("%v", err)
 	}
 	opts := core.Options{
-		Workers:         *workersFlag,
-		Partitions:      *partsFlag,
-		PerNodePQ:       *pqFlag,
-		PerNodeLocks:    *nodeLockFlag,
-		NoTempQueue:     *noTempFlag,
-		NaiveRespawn:    *naiveFlag,
-		GlobalIsolated:  *isoFlag,
-		MutexLocks:      *mutexFlag,
-		NoAffinity:      *noAffFlag,
-		SingleSteal:     *steal1Flag,
-		TimeWarpWindow:  *twWindow,
-		LPInboxCap:      *inboxFlag,
-		CheckpointEvery: *ckptFlag,
-		DiscardOutputs:  !*verifyFlag && *vcdFlag == "",
+		Workers:           *workersFlag,
+		Partitions:        *partsFlag,
+		PerNodePQ:         *pqFlag,
+		PerNodeLocks:      *nodeLockFlag,
+		NoTempQueue:       *noTempFlag,
+		NaiveRespawn:      *naiveFlag,
+		GlobalIsolated:    *isoFlag,
+		MutexLocks:        *mutexFlag,
+		NoAffinity:        *noAffFlag,
+		SingleSteal:       *steal1Flag,
+		TimeWarpWindow:    *twWindow,
+		TimeWarpSaveEvery: *twSaveEvery,
+		TimeWarpAdaptive:  *twAdaptive,
+		LPInboxCap:        *inboxFlag,
+		CheckpointEvery:   *ckptFlag,
+		DiscardOutputs:    !*verifyFlag && *vcdFlag == "",
 	}
 	if *traceFlag != "" {
 		recorder = obs.NewRecorder(0)
@@ -317,7 +321,7 @@ func printStats(res *core.Result) {
 	if res.Galois.Committed > 0 {
 		fmt.Printf("galois runtime: %v\n", res.Galois)
 	}
-	if res.TimeWarp.Rounds > 0 {
+	if res.TimeWarp != (core.TWStats{}) {
 		fmt.Printf("timewarp: %v\n", res.TimeWarp)
 	}
 	if res.LP.Partitions > 0 {

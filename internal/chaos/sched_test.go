@@ -97,7 +97,7 @@ func TestSchedStatsMetrics(t *testing.T) {
 
 // schedFamilies maps each engine family that consumes core.ChaosHooks to
 // one representative registry name.
-var schedFamilies = []string{"seq", "hj", "galois", "galois-ordered", "actor", "timewarp"}
+var schedFamilies = []string{"seq", "hj", "galois", "galois-ordered", "actor", "timewarp", "tw-hj"}
 
 // runResilientChaos runs the named engine under core.Resilient with the
 // given injector wired in, a seq fallback, and full checkpointing.
@@ -202,6 +202,41 @@ func TestRollbackStormTimewarp(t *testing.T) {
 	}
 	if res.TimeWarp.Rollbacks == 0 {
 		t.Fatal("timewarp stats recorded no rollbacks")
+	}
+	if ok, diff := core.SameOutputs(ref, res); !ok {
+		t.Fatalf("rollback-storm run diverged: %s", diff)
+	}
+}
+
+// TestRollbackStormTWHJ is the barrier-free analogue: storms are keyed
+// by (node, slice) instead of (node, round), and the engine's own
+// rollback counters must confirm the extra rollbacks were absorbed
+// bit-exact — no global barrier re-synchronizes the nodes afterwards.
+func TestRollbackStormTWHJ(t *testing.T) {
+	c := circuit.KoggeStone(16)
+	stim := circuit.RandomStimulus(c, 6, c.SettleTime()+10, 47)
+	ref := seqReference(t, c, stim)
+
+	inj := chaos.NewSched(chaos.SchedConfig{Seed: 19, RollbackProb: 0.9, MaxRollbacks: 100})
+	opts := core.Options{Workers: 4, Chaos: inj.Hooks()}
+	e, err := core.NewEngine("tw-hj", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Resilient(nil, e, c, stim, core.ResilientConfig{
+		Supervise: core.SuperviseConfig{Timeout: 30 * time.Second},
+		Retry:     core.RetryPolicy{Retries: 2, Backoff: time.Millisecond, Seed: 1},
+		Fallback:  []string{"seq"},
+		Options:   opts,
+	})
+	if err != nil {
+		t.Fatalf("rollback-storm run failed: %v", err)
+	}
+	if inj.Stats.Rollbacks.Load() == 0 {
+		t.Fatal("rollback storm never fired")
+	}
+	if res.TimeWarp.Rollbacks == 0 {
+		t.Fatal("tw-hj stats recorded no rollbacks")
 	}
 	if ok, diff := core.SameOutputs(ref, res); !ok {
 		t.Fatalf("rollback-storm run diverged: %s", diff)

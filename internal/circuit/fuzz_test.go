@@ -96,3 +96,61 @@ func TestBuilderHandlesDegenerateGraphs(t *testing.T) {
 		t.Fatalf("dead-gate circuit nodes = %d", c3.NumNodes())
 	}
 }
+
+// FuzzNetlistParse drives the netlist parser with arbitrary bytes. The
+// contract under fuzzing: never panic, and anything that parses must be
+// a self-consistent circuit that survives a serialize/reparse round
+// trip bit-for-bit in structure.
+func FuzzNetlistParse(f *testing.F) {
+	// Seed with real serializations of every circuit family plus the
+	// known-tricky hand mutations from the table-driven garbage test.
+	for _, c := range []*Circuit{FullAdder(), Mux2(), C17(), ParityChain(4), KoggeStone(2), Butterfly(1)} {
+		var sb strings.Builder
+		if err := Serialize(&sb, c); err != nil {
+			f.Fatal(err)
+		}
+		f.Add([]byte(sb.String()))
+	}
+	f.Add([]byte("circuit g\ninput 0 x\ngate 1 NOT 0\noutput 2 y 1\n"))
+	f.Add([]byte("circuit g\ninput 0 x\ngate 1 AND 0 0\n# comment\n\noutput 2 y 1"))
+	f.Add([]byte("circuit g\ninput 0 x\ngate 1 AND 0 99\noutput 2 y 1"))
+	f.Add([]byte("input 0 x"))
+	f.Add([]byte("circuit a\ncircuit b"))
+	f.Add([]byte("circuit g\ninput 0 x\noutput 1 y 0\ngate 2 NOT 1"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		c, err := ParseNetlist(strings.NewReader(string(data)))
+		if err != nil {
+			if c != nil {
+				t.Fatal("non-nil circuit alongside error")
+			}
+			return
+		}
+		if c == nil {
+			t.Fatal("nil circuit without error")
+		}
+		if c.NumNodes() == 0 || len(c.Inputs) == 0 {
+			t.Fatalf("accepted degenerate circuit: %d nodes, %d inputs", c.NumNodes(), len(c.Inputs))
+		}
+		var sb strings.Builder
+		if err := Serialize(&sb, c); err != nil {
+			t.Fatalf("serialize accepted circuit: %v", err)
+		}
+		rt, err := ParseNetlist(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\n%s", err, sb.String())
+		}
+		if rt.NumNodes() != c.NumNodes() || rt.Depth() != c.Depth() {
+			t.Fatalf("round trip drifted: %d/%d nodes, depth %d/%d", rt.NumNodes(), c.NumNodes(), rt.Depth(), c.Depth())
+		}
+		for i := range c.Nodes {
+			a, b := &c.Nodes[i], &rt.Nodes[i]
+			if a.Kind != b.Kind || a.Name != b.Name || a.Fanin != b.Fanin {
+				t.Fatalf("round trip drifted at node %d: %+v vs %+v", i, a, b)
+			}
+		}
+	})
+}

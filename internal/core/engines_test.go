@@ -32,6 +32,9 @@ func testEngines(workers int) []Engine {
 		NewLPHJ(Options{Workers: workers, Partitions: 3, Paranoid: true}),
 		NewLPHJ(Options{Workers: 2, Partitions: 16, Paranoid: true}),
 		NewLPHJ(Options{Workers: workers, Partitions: 5, Paranoid: true, NoAffinity: true}),
+		NewTWHJ(Options{Workers: workers, Paranoid: true}),
+		NewTWHJ(Options{Workers: workers, Paranoid: true, TimeWarpWindow: 40, TimeWarpSaveEvery: 4}),
+		NewTWHJ(Options{Workers: workers, Paranoid: true, TimeWarpAdaptive: true, NoAffinity: true}),
 	}
 }
 

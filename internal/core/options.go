@@ -61,6 +61,24 @@ type Options struct {
 	// Zero means unbounded (pure Time Warp). Ignored by other engines.
 	TimeWarpWindow int64
 
+	// TimeWarpSaveEvery is the optimistic engines' incremental state-saving
+	// interval: pre-event state is snapshotted into the rollback log only on
+	// every Nth processed event; a rollback between anchors coast-forwards
+	// by replaying the logged events from the nearest earlier anchor. 0 or
+	// 1 saves on every event (full state saving, the classic Jefferson
+	// scheme). Semantics-preserving: the committed results are identical
+	// for every interval. Honored by tw-hj; ignored by other engines.
+	TimeWarpSaveEvery int
+
+	// TimeWarpAdaptive lets the barrier-free optimistic engine (tw-hj)
+	// throttle its own optimism: the GVT sweep widens or narrows the
+	// effective speculation window from the observed rollback fraction
+	// (halving it when rollbacks dominate progress, doubling it back when
+	// speculation is clean). The adjustment changes only scheduling, never
+	// results. When set with TimeWarpWindow == 0, the initial window is
+	// seeded from the circuit's settle time. Ignored by other engines.
+	TimeWarpAdaptive bool
+
 	// Paranoid enables runtime assertion of the local causality
 	// constraint inside the conservative engines: every port must see
 	// nondecreasing event timestamps, or the run panics. Used by the

@@ -56,11 +56,13 @@ type TWStats struct {
 	Undone     int64 // processed events undone by rollbacks
 	Antis      int64 // anti-messages sent
 	Stragglers int64 // late positive events that forced a rollback
+	Sweeps     int64 // asynchronous GVT snapshots published (tw-hj; barrier engine: 0)
+	Fires      int64 // throttled-node wakeups fired by the GVT sweep (tw-hj)
 }
 
 func (s TWStats) String() string {
-	return fmt.Sprintf("rounds=%d rollbacks=%d undone=%d antis=%d stragglers=%d",
-		s.Rounds, s.Rollbacks, s.Undone, s.Antis, s.Stragglers)
+	return fmt.Sprintf("rounds=%d rollbacks=%d undone=%d antis=%d stragglers=%d sweeps=%d fires=%d",
+		s.Rounds, s.Rollbacks, s.Undone, s.Antis, s.Stragglers, s.Sweeps, s.Fires)
 }
 
 // MetricsInto folds the counters into a flat metrics map under the "tw."
@@ -71,6 +73,8 @@ func (s TWStats) MetricsInto(m obs.Metrics) {
 	m.Add("tw.undone", s.Undone)
 	m.Add("tw.antis", s.Antis)
 	m.Add("tw.stragglers", s.Stragglers)
+	m.Add("tw.sweeps", s.Sweeps)
+	m.Add("tw.fires", s.Fires)
 }
 
 // twEvent is an optimistic message: a signal value or an anti-message

@@ -111,6 +111,12 @@ func buildRandom(args string) (*circuit.Circuit, error) {
 	if nums[0] < 1 || nums[1] < 0 || nums[2] < 1 {
 		return nil, fmt.Errorf("cspec: random spec needs IN>=1, GATES>=0, OUT>=1")
 	}
+	// The sized generators cap their sizes so a typo cannot exhaust
+	// memory; the random spec must not be the one uncapped back door
+	// (random:1,9e18,1,0 would otherwise die in makeslice).
+	if nums[0] > 1<<16 || nums[1] > 1<<20 || nums[2] > 1<<16 {
+		return nil, fmt.Errorf("cspec: random spec size exceeds limits (IN,OUT<=%d, GATES<=%d)", 1<<16, 1<<20)
+	}
 	return circuit.RandomDAG(circuit.RandomConfig{
 		Inputs: int(nums[0]), Gates: int(nums[1]), Outputs: int(nums[2]), Seed: nums[3],
 	}), nil

@@ -47,6 +47,8 @@ func TestBuildErrors(t *testing.T) {
 		"", "frobnicator", "koggestone-", "koggestone-x", "koggestone-0",
 		"mult-9999", "random:1,2", "random:a,b,c,d", "random:0,5,1,1",
 		"file:/does/not/exist.net", "butterfly-99",
+		"random:1,9223372036854775807,1,0", "random:99999999,5,1,1",
+		"random:1,5,99999999,1",
 	} {
 		if _, err := Build(spec); err == nil {
 			t.Errorf("Build(%q) succeeded, want error", spec)

@@ -1,0 +1,61 @@
+package cspec
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCSpecBuild drives the spec grammar with arbitrary strings: every
+// input must either build a usable circuit or return an error — never
+// panic, and never accept a spec that exhausts memory. The file-backed
+// prefixes are skipped (they depend on the filesystem, and a fuzzed
+// path like file:/dev/zero would stall the worker, not test the
+// grammar).
+func FuzzCSpecBuild(f *testing.F) {
+	for _, spec := range []string{
+		"fulladder", "mux2", "c17",
+		"parity-8", "fanout-3", "koggestone-4", "brentkung-4",
+		"mult-3", "arraymult-3", "butterfly-2",
+		"random:4,20,3,7", "random:1,0,1,0",
+		"parity-", "parity-0", "parity-x", "koggestone-9999999",
+		"random:", "random:1,2,3", "random:1,2,3,4,5", "random:-1,2,3,4",
+		"random:1,9223372036854775807,1,0",
+		"", "bogus", "mult-64", "butterfly-13",
+	} {
+		f.Add(spec)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		if len(spec) > 256 {
+			t.Skip("oversized spec")
+		}
+		if strings.HasPrefix(spec, "file:") || strings.HasPrefix(spec, "bench:") {
+			t.Skip("filesystem-backed spec")
+		}
+		// Clamp generator sizes: the grammar legitimately allows e.g.
+		// parity-1048576, which is fine for a CLI user but too slow to
+		// build thousands of times per second under the fuzzer.
+		if i := strings.LastIndexByte(spec, '-'); i >= 0 && len(spec)-i > 5 {
+			t.Skip("oversized generator")
+		}
+		if rest, ok := strings.CutPrefix(spec, "random:"); ok {
+			for _, field := range strings.Split(rest, ",") {
+				if len(strings.TrimLeft(strings.TrimSpace(field), "0")) > 4 {
+					t.Skip("oversized random generator")
+				}
+			}
+		}
+		c, err := Build(spec)
+		if err != nil {
+			if c != nil {
+				t.Fatal("non-nil circuit alongside error")
+			}
+			return
+		}
+		if c == nil {
+			t.Fatal("nil circuit without error")
+		}
+		if c.NumNodes() == 0 || len(c.Inputs) == 0 {
+			t.Fatalf("spec %q built degenerate circuit", spec)
+		}
+	})
+}

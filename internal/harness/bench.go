@@ -221,6 +221,71 @@ func LPKSweep(cfg Config, ks []int) ([]BenchRecord, error) {
 	return records, nil
 }
 
+// TWSweep is the optimistic-engine trajectory: the barrier-synchronized
+// timewarp engine (the ablation baseline, GVT at a global barrier every
+// round) against the barrier-free tw-hj engine across optimism windows ×
+// worker counts. Window 0 is unbounded optimism; a positive window W
+// bounds speculation to W ticks past each node's earliest pending event
+// (both engines share this local-window semantics, so the comparison
+// isolates the barrier). Measurement protocol is LPKSweep's: the engines
+// run interleaved repeat by repeat, the collector is paced off with an
+// explicit GC plus an uncounted pool-warming run at every repeat
+// boundary, and the head-to-head is decided on min_s.
+func TWSweep(cfg Config, windows []int64) ([]BenchRecord, error) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	names := []string{"timewarp", "tw-hj"}
+	var records []BenchRecord
+	for _, pc := range cfg.circuits() {
+		c := pc.Build()
+		stim := cfg.stimulus(c, pc)
+		for _, w := range cfg.workerCounts() {
+			for _, win := range windows {
+				ms := make([]*Measurement, len(names))
+				engines := make([]core.Engine, len(names))
+				for i, name := range names {
+					engines[i] = factory(name, core.Options{TimeWarpWindow: win})(w)
+					ms[i] = &Measurement{
+						Label:    fmt.Sprintf("%s/%s/w%d/win%d", pc.Name, engines[i].Name(), w, win),
+						Engine:   engines[i].Name(),
+						Workers:  w,
+						Times:    stats.New(),
+						Attempts: 1,
+					}
+				}
+				var before, after runtime.MemStats
+				for rep := 0; rep < cfg.repeats(); rep++ {
+					for i, e := range engines {
+						m := ms[i]
+						runtime.GC()
+						if _, err := e.Run(c, stim); err != nil { // uncounted pool-warming run
+							return nil, fmt.Errorf("harness: %s warmup %d: %w", m.Label, rep, err)
+						}
+						runtime.ReadMemStats(&before)
+						res, err := e.Run(c, stim)
+						runtime.ReadMemStats(&after)
+						if err != nil {
+							return nil, fmt.Errorf("harness: %s run %d: %w", m.Label, rep, err)
+						}
+						m.Events = res.TotalEvents
+						m.Times.Add(res.Elapsed.Seconds())
+						m.AllocsPerOp += after.Mallocs - before.Mallocs
+						m.BytesPerOp += after.TotalAlloc - before.TotalAlloc
+						if m.Best == nil || res.Elapsed < m.Best.Elapsed {
+							m.Best = res
+						}
+					}
+				}
+				for _, m := range ms {
+					m.AllocsPerOp /= uint64(cfg.repeats())
+					m.BytesPerOp /= uint64(cfg.repeats())
+					records = append(records, record(pc.Name, m))
+				}
+			}
+		}
+	}
+	return records, nil
+}
+
 // WriteBenchJSON renders the records as an indented JSON array.
 func WriteBenchJSON(w io.Writer, records []BenchRecord) error {
 	enc := json.NewEncoder(w)

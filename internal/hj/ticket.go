@@ -1,0 +1,56 @@
+package hj
+
+import (
+	"sync/atomic"
+)
+
+// Ticket is a reserved future spawn: a task slot registered with a
+// finish scope before the task body is known to be needed. It exists
+// for engines whose tasks suspend themselves — a Time Warp LP that has
+// hit its optimism window yields its worker, but something outside the
+// runtime (the GVT sweep) must later be able to reschedule it without
+// the enclosing Finish having already returned. Reserve keeps the
+// finish scope open; Fire injects the task; Cancel releases the
+// reservation. Exactly one of Fire or Cancel must be called, exactly
+// once, from any goroutine (worker or external) — double resolution
+// panics, because it means two schedulers claimed the same suspended
+// task.
+type Ticket struct {
+	rt   *Runtime
+	t    *task
+	used atomic.Bool
+}
+
+// Reserve registers a future spawn of fn(idx) with the current task's
+// finish scope and returns its ticket. The scope cannot complete until
+// the ticket is resolved (Fire's task runs, or Cancel). Ticket task
+// records are allocated fresh, not recycled: reservations are
+// low-frequency (sweep-paced) and may outlive the reserving slice.
+func (c *Ctx) Reserve(fn IndexedTask, idx int32) *Ticket {
+	c.fin.register()
+	return &Ticket{rt: c.worker.rt, t: &task{ifn: fn, idx: idx, fin: c.fin}}
+}
+
+// Fire schedules the reserved task. It goes through the injector (the
+// external submission path), so Fire is safe from any goroutine,
+// including ones that are not hj workers. On a canceled runtime the
+// task is still enqueued but will never run; the enclosing Finish has
+// already been released by cancellation.
+func (tk *Ticket) Fire() {
+	tk.resolve("Fire")
+	tk.rt.injector.push(tk.t)
+	tk.rt.wakeOne()
+}
+
+// Cancel releases the reservation without running the task: the finish
+// scope's count drops as if the task had completed.
+func (tk *Ticket) Cancel() {
+	tk.resolve("Cancel")
+	tk.t.fin.complete()
+}
+
+func (tk *Ticket) resolve(op string) {
+	if tk.used.Swap(true) {
+		panic("hj: Ticket." + op + " on an already-resolved ticket")
+	}
+}

@@ -1,0 +1,117 @@
+package hj
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTicketFireRunsTask: a reserved ticket keeps the finish scope open
+// until an external goroutine fires it, and the fired task runs with
+// the reserved index.
+func TestTicketFireRunsTask(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 2})
+	defer rt.Shutdown()
+	var got atomic.Int32
+	released := make(chan *Ticket, 1)
+	done := make(chan struct{})
+	go func() {
+		rt.Finish(func(ctx *Ctx) {
+			released <- ctx.Reserve(func(_ *Ctx, idx int32) { got.Store(idx + 1) }, 41)
+		})
+		close(done)
+	}()
+	tk := <-released
+	select {
+	case <-done:
+		t.Fatal("Finish returned with an unresolved ticket outstanding")
+	case <-time.After(20 * time.Millisecond):
+	}
+	tk.Fire()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Finish did not return after Fire")
+	}
+	if got.Load() != 42 {
+		t.Fatalf("fired task saw idx result %d, want 42", got.Load())
+	}
+}
+
+// TestTicketCancelReleasesScope: Cancel must release the reservation
+// without running the task.
+func TestTicketCancelReleasesScope(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 1})
+	defer rt.Shutdown()
+	ran := false
+	rt.Finish(func(ctx *Ctx) {
+		tk := ctx.Reserve(func(_ *Ctx, _ int32) { ran = true }, 0)
+		tk.Cancel()
+	})
+	if ran {
+		t.Fatal("canceled ticket's task ran")
+	}
+	if err := rt.Quiescent(); err != nil {
+		t.Fatalf("runtime not quiescent after Cancel: %v", err)
+	}
+}
+
+// TestTicketDoubleResolvePanics: resolving a ticket twice is a protocol
+// bug and must panic rather than corrupt the finish count.
+func TestTicketDoubleResolvePanics(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 1})
+	defer rt.Shutdown()
+	rt.Finish(func(ctx *Ctx) {
+		tk := ctx.Reserve(func(_ *Ctx, _ int32) {}, 0)
+		tk.Cancel()
+		defer func() {
+			if recover() == nil {
+				t.Error("second resolve did not panic")
+			}
+		}()
+		tk.Fire()
+	})
+}
+
+// TestTicketConcurrentResolve: many goroutines race to resolve one
+// ticket; exactly one must win, the rest must panic, and the scope must
+// close exactly once.
+func TestTicketConcurrentResolve(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		rt := NewRuntime(Config{Workers: 2})
+		var runs atomic.Int32
+		released := make(chan *Ticket, 1)
+		go rt.Finish(func(ctx *Ctx) {
+			released <- ctx.Reserve(func(_ *Ctx, _ int32) { runs.Add(1) }, 0)
+		})
+		tk := <-released
+		var wins, panics atomic.Int32
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				defer func() {
+					if recover() != nil {
+						panics.Add(1)
+					}
+				}()
+				if g%2 == 0 {
+					tk.Fire()
+				} else {
+					tk.Cancel()
+				}
+				wins.Add(1)
+			}(g)
+		}
+		wg.Wait()
+		if wins.Load() != 1 || panics.Load() != 3 {
+			t.Fatalf("iter %d: %d winners, %d panics; want 1 and 3", iter, wins.Load(), panics.Load())
+		}
+		rt.Shutdown()
+		if runs.Load() > 1 {
+			t.Fatalf("iter %d: fired task ran %d times", iter, runs.Load())
+		}
+	}
+}

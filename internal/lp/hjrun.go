@@ -172,7 +172,7 @@ func (p *proc) slice(ctx *hj.Ctx) {
 		// that pushes after the clear wins the CAS and spawns a fresh
 		// slice. Either way exactly one slice owns the mail.
 		p.sched.Store(false)
-		if p.mb.empty() || !p.sched.CompareAndSwap(false, true) {
+		if p.mb.Empty() || !p.sched.CompareAndSwap(false, true) {
 			return
 		}
 		p.state.Store(stateRunning)
@@ -181,10 +181,10 @@ func (p *proc) slice(ctx *hj.Ctx) {
 
 // drainMail applies every batch currently in the mailbox, in push order.
 func (p *proc) drainMail() {
-	for m := p.mb.drain(); m != nil; {
-		next := m.next
+	for m := p.mb.Drain(); m != nil; {
+		next := m.Next
 		p.mbDepth.Add(-1)
-		p.applyBatch(m.batch)
+		p.applyBatch(m.Val)
 		p.freeMail(m)
 		m = next
 	}

@@ -1006,7 +1006,7 @@ func (p *proc) flushTo(to int32) {
 	}
 	if p.r.hj {
 		q := p.r.procs[to]
-		q.mb.push(p.takeMail(buf))
+		q.mb.Push(p.takeMail(buf))
 		q.mbDepth.Add(1)
 		if q.sched.CompareAndSwap(false, true) {
 			p.r.enqueue(p.hctx, to)

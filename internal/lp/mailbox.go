@@ -4,17 +4,18 @@ import (
 	"sync/atomic"
 )
 
-// Lock-free MPSC mailbox for the fused hj-scheduled LP mode (RunHJ).
+// Lock-free MPSC mailbox for the hj-scheduled engine modes (lp's RunHJ
+// and core's tw-hj), generic over the payload one pushed node carries.
 //
 // Each LP owns one mailbox; any peer LP (running on any hj worker) may
 // push a batch of messages into it concurrently, and only the owning
 // LP's current slice drains it. The structure is an intrusive Treiber
 // stack of mail nodes: producers CAS-push onto head, the consumer
 // Swap(nil)s the whole chain and reverses it, which restores exact push
-// order. Per-(node, port) FIFO — the ordering the receiving deques
-// depend on — follows because each destination port has exactly one
-// source LP, sends from one LP are pushed in send order, and the
-// reversal preserves that order globally.
+// order. Per-sender FIFO — the ordering both the conservative deques
+// and Time Warp's positive-before-anti rule depend on — follows because
+// sends from one LP are pushed in send order and the reversal preserves
+// that order globally.
 //
 // Node recycling is deliberately not a sync.Pool: a GC wipes pools
 // mid-run, which showed up in profiles as steady mail re-allocation
@@ -24,13 +25,15 @@ import (
 // inside the LP's slice), so a hit costs a pointer swap and no
 // synchronization. Nodes migrate sender→receiver and are reused for the
 // receiver's own sends; a pure sink LP just lets its overflow go to the
-// garbage collector. The batch slices the nodes carry keep cycling
-// through msgArena exactly as in the goroutine transport.
+// garbage collector.
 
-// mail is one pushed batch, an intrusive stack link.
-type mail struct {
-	batch []Msg
-	next  *mail
+// Mail is one pushed value, an intrusive stack link. Next is exported
+// so other packages can run the same owner-only chunk-slab recycling
+// the lp engine uses; outside a drain/free-list owner it must not be
+// touched.
+type Mail[T any] struct {
+	Val  T
+	Next *Mail[T]
 }
 
 // mailChunk is the slab size for sender-side node allocation; mailFreeCap
@@ -41,44 +44,52 @@ const (
 	mailFreeCap = 4096
 )
 
-// mailbox is the lock-free MPSC inbox of one hj-scheduled LP.
-type mailbox struct {
-	head atomic.Pointer[mail]
+// Mailbox is a lock-free MPSC inbox: many concurrent producers, one
+// owner-consumer at a time. The zero value is ready to use.
+type Mailbox[T any] struct {
+	head atomic.Pointer[Mail[T]]
 }
 
-// push adds m to the mailbox. Safe from any goroutine.
-func (b *mailbox) push(m *mail) {
+// Push adds m to the mailbox. Safe from any goroutine.
+func (b *Mailbox[T]) Push(m *Mail[T]) {
 	for {
 		old := b.head.Load()
-		m.next = old
+		m.Next = old
 		if b.head.CompareAndSwap(old, m) {
 			return
 		}
 	}
 }
 
-// empty reports whether the mailbox currently holds no mail.
-func (b *mailbox) empty() bool { return b.head.Load() == nil }
+// Empty reports whether the mailbox currently holds no mail.
+func (b *Mailbox[T]) Empty() bool { return b.head.Load() == nil }
 
-// drain detaches the entire chain and returns it in FIFO push order
-// (oldest first). Only the owning LP may call it.
-func (b *mailbox) drain() *mail {
+// Drain detaches the entire chain and returns it in FIFO push order
+// (oldest first). Only the owning consumer may call it.
+func (b *Mailbox[T]) Drain() *Mail[T] {
 	m := b.head.Swap(nil)
-	var fifo *mail
+	var fifo *Mail[T]
 	for m != nil {
-		next := m.next
-		m.next = fifo
+		next := m.Next
+		m.Next = fifo
 		fifo = m
 		m = next
 	}
 	return fifo
 }
 
+// mail and mailbox are the lp engine's concrete instantiations: one
+// node carries one batch of cross-partition messages.
+type (
+	mail    = Mail[[]Msg]
+	mailbox = Mailbox[[]Msg]
+)
+
 // putMail and getMail are the unpooled node helpers (tests and one-off
 // callers); the engine path goes through the per-proc takeMail/freeMail.
-func putMail(m *mail) { m.batch, m.next = nil, nil }
+func putMail(m *mail) { m.Val, m.Next = nil, nil }
 
-func getMail(batch []Msg) *mail { return &mail{batch: batch} }
+func getMail(batch []Msg) *mail { return &mail{Val: batch} }
 
 // takeMail fetches a node carrying batch from the LP's private free
 // list, carving a fresh chunk slab when it runs dry. Owner-only: call
@@ -88,13 +99,13 @@ func (p *proc) takeMail(batch []Msg) *mail {
 	if m == nil {
 		chunk := make([]mail, mailChunk)
 		for i := range chunk[:mailChunk-1] {
-			chunk[i].next = &chunk[i+1]
+			chunk[i].Next = &chunk[i+1]
 		}
 		m = &chunk[0]
 		p.mailFreeN = mailChunk
 	}
-	p.mailFree, p.mailFreeN = m.next, p.mailFreeN-1
-	m.batch, m.next = batch, nil
+	p.mailFree, p.mailFreeN = m.Next, p.mailFreeN-1
+	m.Val, m.Next = batch, nil
 	return m
 }
 
@@ -104,6 +115,6 @@ func (p *proc) freeMail(m *mail) {
 	if p.mailFreeN >= mailFreeCap {
 		return
 	}
-	m.batch, m.next = nil, p.mailFree
+	m.Val, m.Next = nil, p.mailFree
 	p.mailFree, p.mailFreeN = m, p.mailFreeN+1
 }

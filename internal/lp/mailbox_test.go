@@ -19,13 +19,13 @@ func TestMailboxFIFO(t *testing.T) {
 	for cycle := 0; cycle < 200; cycle++ {
 		n := 1 + cycle%17
 		for i := 0; i < n; i++ {
-			mb.push(sender.takeMail([]Msg{{Time: int64(seq + i)}}))
+			mb.Push(sender.takeMail([]Msg{{Time: int64(seq + i)}}))
 		}
 		seq += n
 		want := int64(seq - n)
-		for m := mb.drain(); m != nil; {
-			next := m.next
-			if got := m.batch[0].Time; got != want {
+		for m := mb.Drain(); m != nil; {
+			next := m.Next
+			if got := m.Val[0].Time; got != want {
 				t.Fatalf("cycle %d: batch out of order: got %d want %d", cycle, got, want)
 			}
 			want++
@@ -35,7 +35,7 @@ func TestMailboxFIFO(t *testing.T) {
 		if want != int64(seq) {
 			t.Fatalf("cycle %d: drained %d batches, want %d", cycle, want-int64(seq-n), n)
 		}
-		if !mb.empty() {
+		if !mb.Empty() {
 			t.Fatalf("cycle %d: mailbox not empty after drain", cycle)
 		}
 	}
@@ -56,7 +56,7 @@ func TestMailboxConcurrentProducers(t *testing.T) {
 			defer wg.Done()
 			var sender proc // takeMail is owner-only: one per producer
 			for i := 0; i < perProducer; i++ {
-				mb.push(sender.takeMail([]Msg{{Src: int32(p), Time: int64(i)}}))
+				mb.Push(sender.takeMail([]Msg{{Src: int32(p), Time: int64(i)}}))
 			}
 		}(p)
 	}
@@ -75,9 +75,9 @@ func TestMailboxConcurrentProducers(t *testing.T) {
 			drained = true // one final drain below picks up the tail
 		default:
 		}
-		for m := mb.drain(); m != nil; {
-			next := m.next
-			src, seq := m.batch[0].Src, m.batch[0].Time
+		for m := mb.Drain(); m != nil; {
+			next := m.Next
+			src, seq := m.Val[0].Src, m.Val[0].Time
 			if seq <= lastPer[src] {
 				t.Fatalf("producer %d: batch %d arrived after %d", src, seq, lastPer[src])
 			}
@@ -122,16 +122,16 @@ func TestScheduledFlagDedupLinearizable(t *testing.T) {
 			t.Errorf("slice exclusivity violated: %d concurrent slices", n)
 		}
 		for {
-			for m := mb.drain(); m != nil; {
-				next := m.next
-				consumed.Add(int64(len(m.batch)))
+			for m := mb.Drain(); m != nil; {
+				next := m.Next
+				consumed.Add(int64(len(m.Val)))
 				putMail(m)
 				m = next
 			}
 			// The engine's yield protocol, verbatim.
 			active.Add(-1)
 			sched.Store(false)
-			if mb.empty() || !sched.CompareAndSwap(false, true) {
+			if mb.Empty() || !sched.CompareAndSwap(false, true) {
 				return
 			}
 			if n := active.Add(1); n != 1 {
@@ -140,7 +140,7 @@ func TestScheduledFlagDedupLinearizable(t *testing.T) {
 		}
 	}
 	deliver := func() {
-		mb.push(getMail(make([]Msg, 1)))
+		mb.Push(getMail(make([]Msg, 1)))
 		if sched.CompareAndSwap(false, true) {
 			wg.Add(1)
 			go slice()
@@ -162,7 +162,7 @@ func TestScheduledFlagDedupLinearizable(t *testing.T) {
 	if got := consumed.Load(); got != total {
 		t.Fatalf("consumed %d items, want %d", got, total)
 	}
-	if !mb.empty() {
+	if !mb.Empty() {
 		t.Fatal("mailbox not empty after all slices yielded")
 	}
 }

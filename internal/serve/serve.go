@@ -133,14 +133,19 @@ func (s *Server) executor(shard int) {
 
 // poolable reports whether a job may run on a shared pooled runtime.
 // Trace and chaos wire per-run hooks into the runtime at construction,
-// and only the hj family (including the fused lp-hj engine, whose clean
-// runs leave the runtime quiescent) consults Options.Runtime at all;
-// hj-steal1 changes the runtime's steal policy, so it builds its own.
+// and only the hj family (including the fused lp-hj and tw-hj engines,
+// whose clean runs leave the runtime quiescent) consults
+// Options.Runtime at all; hj-steal1 changes the runtime's steal
+// policy, so it builds its own.
 func poolable(spec JobSpec) bool {
 	if spec.Trace || spec.Chaos != "" {
 		return false
 	}
-	return spec.Engine == "hj" || spec.Engine == "hj-noaff" || spec.Engine == "lp-hj"
+	switch spec.Engine {
+	case "hj", "hj-noaff", "lp-hj", "tw-hj":
+		return true
+	}
+	return false
 }
 
 // runJob executes one admitted job through the resilient envelope.
